@@ -1,0 +1,33 @@
+"""Ablation A1 — the ε trade-off (§4.3's discussion, quantified).
+
+Smaller termination tolerances push the realised gain closer to the
+target (higher revenue for both parties) at the cost of longer
+bargaining — the trade-off the paper highlights when discussing
+bargaining efficiency vs equilibrium quality.
+"""
+
+import os
+import re
+
+from conftest import run_once
+
+from repro.experiments import ablation_epsilon_rows, format_table, write_csv
+
+
+def test_ablation_epsilon_tradeoff(benchmark, results_dir):
+    headers, rows = run_once(benchmark, ablation_epsilon_rows, "titanic", seed=0)
+    print()
+    print(format_table(headers, rows, title="Ablation A1: epsilon trade-off (titanic, RF)"))
+    write_csv(
+        os.path.join(results_dir, "ablation_epsilon.csv"),
+        headers,
+        [[r[i] for r in rows] for i in range(len(headers))],
+    )
+
+    def rounds_of(row):
+        match = re.match(r"(\d+\.?\d*)", str(row[1]))
+        return float(match.group(1)) if match else float("nan")
+
+    # Larger eps settles (weakly) faster.
+    tight, loose = rounds_of(rows[0]), rounds_of(rows[-1])
+    assert loose <= tight + 1e-9

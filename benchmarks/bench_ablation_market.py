@@ -1,0 +1,33 @@
+"""Ablation A2 — bargaining mechanics vs market structure.
+
+Synthetic gain ladders isolate the engine from VFL noise: catalogue
+size and the steepness of the seller's value premium drive convergence
+length and the buyer's final price slack.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import ablation_market_rows, format_table, write_csv
+
+
+def test_ablation_market_structure(benchmark, results_dir):
+    headers, rows = run_once(benchmark, ablation_market_rows, seed=0)
+    print()
+    print(format_table(headers, rows, title="Ablation A2: market structure (synthetic ladders)"))
+    write_csv(
+        os.path.join(results_dir, "ablation_market.csv"),
+        headers,
+        [[r[i] for r in rows] for i in range(len(headers))],
+    )
+    # Steeper value premiums mean the target bundle costs more: the
+    # no-premium column should settle at the lowest rounds per size.
+    by_size: dict = {}
+    for row in rows:
+        by_size.setdefault(row[0], {})[row[1]] = row
+    for size, group in by_size.items():
+        flat = group[0.0]
+        steep = group[4.0]
+        if flat[2] != "-" and steep[2] != "-":
+            assert float(flat[2]) <= float(steep[2]) + 1e-9

@@ -1,0 +1,24 @@
+"""Figure 2 — bargaining dynamics with the Random Forest base model.
+
+Paper reference (Fig. 2, Titanic/Credit/Adult x Strategic/Increase
+Price/Random Bundle, 100 runs, mean + 95% CI):
+
+* net profit and realized ΔG: Strategic highest, converging fastest;
+* payment: Strategic comparable or lower than Increase Price;
+* Random Bundle: early failed terminations (Case 4 violations);
+* final-price densities: Strategic lands just above the data party's
+  reserved price, Increase Price overshoots.
+"""
+
+import pytest
+from conftest import run_once
+from _render import assert_paper_shape, render_bargaining_figure
+
+from repro.experiments import figure23_series
+
+
+@pytest.mark.parametrize("dataset", ["titanic", "credit", "adult"])
+def test_fig2_bargaining_dynamics_rf(benchmark, results_dir, dataset):
+    fig = run_once(benchmark, figure23_series, dataset, "random_forest", seed=0)
+    render_bargaining_figure(fig, figure_no=2, results_dir=results_dir)
+    assert_paper_shape(fig)

@@ -1,0 +1,20 @@
+"""Figure 3 — bargaining dynamics with the 3-layer MLP base model.
+
+Paper reference (Fig. 3): same panels as Figure 2 with the SplitNN MLP
+as the VFL base model; gains are larger (e.g. Titanic ΔG ~0.2 vs ~0.17
+for RF) but every qualitative comparison between strategies is
+unchanged — the market is protocol-agnostic (§3.6).
+"""
+
+import pytest
+from conftest import run_once
+from _render import assert_paper_shape, render_bargaining_figure
+
+from repro.experiments import figure23_series
+
+
+@pytest.mark.parametrize("dataset", ["titanic", "credit", "adult"])
+def test_fig3_bargaining_dynamics_mlp(benchmark, results_dir, dataset):
+    fig = run_once(benchmark, figure23_series, dataset, "mlp", seed=0)
+    render_bargaining_figure(fig, figure_no=3, results_dir=results_dir)
+    assert_paper_shape(fig)

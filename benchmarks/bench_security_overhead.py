@@ -1,0 +1,27 @@
+"""Ablation A3 — overhead of the §3.6 security mitigation.
+
+Times the Paillier-based secure payment (blinded comparisons +
+homomorphic linear payment) against plaintext evaluation, across key
+sizes.  The absolute per-round cost stays in the milliseconds even at
+512-bit keys — negligible against a VFL training round.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import format_table, security_overhead_rows, write_csv
+
+
+def test_security_overhead(benchmark, results_dir):
+    headers, rows = run_once(benchmark, security_overhead_rows, seed=0)
+    print()
+    print(format_table(headers, rows, title="Ablation A3: secure payment overhead"))
+    write_csv(
+        os.path.join(results_dir, "security_overhead.csv"),
+        headers,
+        [[r[i] for r in rows] for i in range(len(headers))],
+    )
+    # Overhead grows with key size but stays practical (< 1s/round).
+    for row in rows:
+        assert float(row[2]) < 1000.0

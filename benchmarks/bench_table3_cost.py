@@ -1,0 +1,46 @@
+"""Table 3 — effect of bargaining cost.
+
+Paper reference (Table 3, RF base model): introducing linear
+``C(T)=aT`` or exponential ``C(T)=a^T`` bargaining costs lowers net
+profit, payment and realized ΔG relative to the no-cost rows; faster-
+growing costs (larger a) push the parties to a less optimal but earlier
+equilibrium; smaller ε yields higher revenue but more rounds (more
+accumulated cost).
+"""
+
+import os
+import re
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import format_table, table3_rows, write_csv
+
+
+def _mean(cell: str) -> float:
+    match = re.match(r"(-?\d+\.?\d*)", str(cell))
+    return float(match.group(1)) if match else float("nan")
+
+
+@pytest.mark.parametrize("dataset", ["titanic", "credit", "adult"])
+def test_table3_bargaining_cost(benchmark, results_dir, dataset):
+    headers, rows = run_once(benchmark, table3_rows, dataset, seed=0)
+    print()
+    print(format_table(headers, rows, title=f"Table 3 ({dataset}, RF)"))
+    write_csv(
+        os.path.join(results_dir, f"table3_{dataset}.csv"),
+        headers,
+        [[r[i] for r in rows] for i in range(len(headers))],
+    )
+    by_label = {}
+    for row in rows:
+        by_label.setdefault(row[0], []).append(row)
+    # Paper shape: costs reduce cost-adjusted net profit vs the no-cost
+    # rows, and the fast-growing linear a=1 schedule hurts at least as
+    # much as a=0.1.
+    for eps_idx in range(len(by_label["No cost"])):
+        base_net = _mean(by_label["No cost"][eps_idx][2])
+        slow = _mean(by_label["C(T)=aT, a=0.1"][eps_idx][2])
+        fast = _mean(by_label["C(T)=aT, a=1"][eps_idx][2])
+        assert slow <= base_net + 1e-6
+        assert fast <= slow + max(0.15 * abs(base_net), 0.2)

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to **quick mode** (reduced run counts); set
+``REPRO_FULL=1`` for the paper's scale.  Each bench prints the
+table/series it reproduces (run with ``-s`` to see them) and writes CSV
+artifacts under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

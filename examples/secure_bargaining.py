@@ -1,0 +1,76 @@
+"""Scenario: what the performance gain leaks, and the §3.6 mitigation.
+
+The paper warns that exchanging plaintext ΔG each round lets a curious
+counterparty run inference attacks.  This example makes the threat
+concrete and then runs the Paillier-based mitigation:
+
+1. replay a bargaining transcript and mount the marginal-value attack
+   — the adversary recovers which features carry label signal;
+2. re-run the exchange with homomorphically encrypted gains and
+   blinded comparisons — payments still compute correctly, but the
+   quantitative recovery collapses;
+3. measure the cryptographic overhead per bargaining round.
+
+Run:  python examples/secure_bargaining.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.market import FeatureBundle, QuotedPrice
+from repro.security import (
+    attack_advantage,
+    encrypted_gain,
+    generate_keypair,
+    marginal_value_attack,
+    secure_payment,
+)
+from repro.utils import spawn
+
+
+def build_transcript(n_features=10, n_rounds=80, seed=0):
+    """A synthetic bargaining transcript: bundles and their gains."""
+    rng = spawn(seed, "transcript")
+    true_values = np.abs(rng.normal(0.0, 0.02, n_features))
+    transcript = []
+    for _ in range(n_rounds):
+        size = int(rng.integers(1, 6))
+        bundle = FeatureBundle.of(rng.choice(n_features, size=size, replace=False))
+        gain = float(true_values[list(bundle)].sum() + rng.normal(0, 0.002))
+        transcript.append((bundle, gain))
+    return true_values, transcript
+
+
+def main() -> None:
+    true_values, transcript = build_transcript()
+
+    print("1) Plaintext exchange: the marginal-value inference attack")
+    advantage = attack_advantage(transcript, true_values)
+    recovered = marginal_value_attack(transcript, len(true_values))
+    err = float(np.abs(recovered - true_values).max())
+    print(f"   rank-correlation with the seller's true feature values: "
+          f"{advantage:.2f}")
+    print(f"   max absolute error of recovered per-feature values: {err:.4f}")
+    print("   -> the counterparty reconstructs the catalogue's quality "
+          "ordering almost exactly.")
+
+    print("\n2) Mitigated exchange: Paillier-encrypted gains")
+    pub, priv = generate_keypair(bits=256, rng=0)
+    quote = QuotedPrice(rate=10.0, base=1.0, cap=3.0)
+    t0 = time.perf_counter()
+    max_err = 0.0
+    for i, (_, gain) in enumerate(transcript[:20]):
+        enc = encrypted_gain(gain, pub, rng=spawn(1, "enc", i))
+        paid = secure_payment(enc, quote, priv, rng=spawn(1, "blind", i))
+        max_err = max(max_err, abs(paid - quote.payment(gain)))
+    per_round_ms = (time.perf_counter() - t0) / 20 * 1e3
+    print(f"   secure payment matches plaintext payment to {max_err:.2e}")
+    print(f"   cost: {per_round_ms:.2f} ms per bargaining round (256-bit keys)")
+    print("   -> the counterparty sees only blinded comparison signs and "
+          "the invoice;\n      quantitative value recovery degrades to "
+          "noise (see tests/security).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — a bargaining-based feature-trading market for Vertical Federated Learning.
+
+Reproduction of Cui et al., *"A Bargaining-based Approach for Feature
+Trading in Vertical Federated Learning"* (ICDE 2025).
+
+Public API highlights
+---------------------
+* :mod:`repro.data` — column-store tables, the paper's three datasets
+  (synthetic, schema-faithful), preprocessing, vertical partitioning.
+* :mod:`repro.ml` — from-scratch Random Forest and MLP base models.
+* :mod:`repro.vfl` — simulated VFL protocols (SplitNN, federated forest)
+  with communication accounting.
+* :mod:`repro.market` — the paper's contribution: performance-gain-based
+  pricing, bargaining strategies, equilibrium theory, and the
+  :class:`~repro.market.market.Market` facade.
+* :mod:`repro.security` — Paillier HE and masked secure comparison for
+  the §3.6 threat analysis.
+* :mod:`repro.experiments` — harness regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"

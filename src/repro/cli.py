@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``bargain``
+    Play bargaining games on one of the paper's markets and print the
+    outcome summary (the quickstart example, parameterised).
+``table``
+    Regenerate one of the paper's tables (2, 3 or 4).
+``figure``
+    Regenerate one of the paper's figures (1, 2, 3 or 4) as an ASCII
+    chart (optionally dumping the CSV series).
+
+Examples
+--------
+::
+
+    python -m repro bargain --dataset titanic --runs 5
+    python -m repro bargain --dataset credit --task increase_price
+    python -m repro table 3 --dataset adult
+    python -m repro figure 2 --dataset titanic --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bargaining-based VFL feature market (Cui et al., ICDE 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bargain = sub.add_parser("bargain", help="play bargaining games on a market")
+    bargain.add_argument("--dataset", default="titanic",
+                         choices=("titanic", "credit", "adult"))
+    bargain.add_argument("--model", default="random_forest",
+                         choices=("random_forest", "mlp"))
+    bargain.add_argument("--task", default="strategic",
+                         choices=("strategic", "increase_price"))
+    bargain.add_argument("--data", default="strategic",
+                         choices=("strategic", "random_bundle"))
+    bargain.add_argument("--information", default="perfect",
+                         choices=("perfect", "imperfect"))
+    bargain.add_argument("--runs", type=int, default=1)
+    bargain.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(2, 3, 4))
+    table.add_argument("--dataset", default="titanic",
+                       choices=("titanic", "credit", "adult"))
+    table.add_argument("--model", default="random_forest",
+                       choices=("random_forest", "mlp"))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    figure.add_argument("--dataset", default="titanic",
+                        choices=("titanic", "credit", "adult"))
+    figure.add_argument("--csv-dir", default=None,
+                        help="also write the series as CSV files here")
+    return parser
+
+
+def _cmd_bargain(args: argparse.Namespace) -> int:
+    from repro.experiments import get_market
+
+    market = get_market(args.dataset, args.model, seed=args.seed)
+    outcomes = market.bargain_many(
+        args.runs,
+        base_seed=args.seed,
+        task=args.task,
+        data=args.data,
+        information=args.information,
+    )
+    accepted = [o for o in outcomes if o.accepted]
+    print(f"market: {market.name} | catalogue {len(market.oracle)} bundles | "
+          f"target dG* = {market.config.target_gain:.4f}")
+    for i, o in enumerate(outcomes):
+        line = (f"run {i}: {o.status:<10} rounds={o.n_rounds:<4}")
+        if o.accepted:
+            line += (f" dG={o.delta_g:.4f} payment={o.payment:.3f} "
+                     f"net={o.net_profit:.2f} quote={o.quote}")
+        print(line)
+    if accepted:
+        print(f"summary: {len(accepted)}/{len(outcomes)} accepted | "
+              f"mean net profit {np.mean([o.net_profit for o in accepted]):.2f} | "
+              f"mean payment {np.mean([o.payment for o in accepted]):.3f}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table, table2_rows, table3_rows, table4_rows
+
+    if args.number == 2:
+        headers, rows = table2_rows()
+        title = "Table 2: dataset statistics"
+    elif args.number == 3:
+        headers, rows = table3_rows(args.dataset)
+        title = f"Table 3: bargaining cost ({args.dataset}, RF)"
+    else:
+        headers, rows = table4_rows(args.dataset, args.model)
+        title = f"Table 4: imperfect vs perfect ({args.dataset}, {args.model})"
+    print(format_table(headers, rows, title=title))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments import (
+        ascii_chart,
+        figure1_series,
+        figure23_series,
+        figure4_series,
+        write_csv,
+    )
+
+    if args.number == 1:
+        series = figure1_series()
+        print(ascii_chart({"payment": series["payment"]},
+                          title="Figure 1a: payment vs dG", x_label="dG"))
+        print(ascii_chart({"net profit": series["net_profit"]},
+                          title="Figure 1b: net profit vs dG", x_label="dG"))
+        if args.csv_dir:
+            write_csv(os.path.join(args.csv_dir, "fig1.csv"),
+                      ["delta_g", "payment", "net_profit"],
+                      [series["delta_g"], series["payment"], series["net_profit"]])
+        return 0
+    if args.number in (2, 3):
+        model = "random_forest" if args.number == 2 else "mlp"
+        fig = figure23_series(args.dataset, model)
+        for field in ("net_profit", "payment", "delta_g"):
+            series = {
+                label: variant["curves"][field]["mean"]
+                for label, variant in fig["variants"].items()
+            }
+            print(ascii_chart(
+                series,
+                title=f"Figure {args.number} ({args.dataset}, {model}): {field}",
+            ))
+        return 0
+    fig = figure4_series(args.dataset, "random_forest")
+    print(ascii_chart(
+        {"Task Party": fig["task_mse"], "Data Party": fig["data_mse"]},
+        title=f"Figure 4 ({args.dataset}, RF): estimator MSE",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "bargain":
+        return _cmd_bargain(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    return _cmd_figure(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

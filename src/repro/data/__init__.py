@@ -1,0 +1,39 @@
+"""Tabular data substrate for the VFL market.
+
+The paper's market operates on vertically-partitioned tabular datasets:
+the *task party* holds labels plus some features, the *data party* holds
+the remaining features over the same aligned users.  This package
+provides the column-store :class:`~repro.data.table.Table`, dataset
+schemas, the preprocessing pipeline described in the paper (multi-class
+categoricals expanded into indicator features), the vertical
+partitioner, and schema-faithful synthetic generators for the three
+evaluation datasets (Titanic, Credit, Adult).
+"""
+
+from repro.data.partition import PartitionedDataset, VerticalPartitioner
+from repro.data.preprocess import (
+    EncodedDataset,
+    Standardizer,
+    encode_indicators,
+    train_test_split,
+)
+from repro.data.schema import Column, ColumnKind, Schema
+from repro.data.synthetic import load_adult, load_credit, load_dataset, load_titanic
+from repro.data.table import Table
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "EncodedDataset",
+    "PartitionedDataset",
+    "Schema",
+    "Standardizer",
+    "Table",
+    "VerticalPartitioner",
+    "encode_indicators",
+    "load_adult",
+    "load_credit",
+    "load_dataset",
+    "load_titanic",
+    "train_test_split",
+]

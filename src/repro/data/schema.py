@@ -1,0 +1,159 @@
+"""Dataset schemas: typed column descriptions.
+
+A :class:`Schema` is an ordered collection of :class:`Column` entries
+describing a raw (pre-encoding) dataset.  Categorical columns carry
+their category labels so indicator encoding can name the expanded
+features deterministically (``"embarked=S"`` etc.), which in turn lets
+the vertical partitioner keep all indicators of one original feature on
+the same party — the invariant the paper states in §4.1.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require
+
+__all__ = ["Column", "ColumnKind", "Schema"]
+
+
+class ColumnKind(enum.Enum):
+    """The storage/encoding class of a raw column."""
+
+    NUMERIC = "numeric"
+    """Real-valued; kept as a single standardised feature."""
+
+    BINARY = "binary"
+    """Two-valued; kept as a single 0/1 indicator."""
+
+    CATEGORICAL = "categorical"
+    """Multi-class; expanded into one indicator feature per category."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """Description of one raw dataset column.
+
+    Parameters
+    ----------
+    name:
+        Unique column identifier.
+    kind:
+        Storage class; drives how preprocessing encodes the column.
+    categories:
+        Category labels for :attr:`ColumnKind.CATEGORICAL` columns
+        (order defines the code values stored in the table).  Binary
+        columns may name their two states; numeric columns leave this
+        empty.
+    description:
+        Optional human-readable note (used by dataset reports).
+    """
+
+    name: str
+    kind: ColumnKind
+    categories: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "column name must be non-empty")
+        if self.kind is ColumnKind.CATEGORICAL:
+            require(
+                len(self.categories) >= 2,
+                f"categorical column {self.name!r} needs >= 2 categories",
+            )
+            require(
+                len(set(self.categories)) == len(self.categories),
+                f"categorical column {self.name!r} has duplicate categories",
+            )
+        if self.kind is ColumnKind.BINARY and self.categories:
+            require(
+                len(self.categories) == 2,
+                f"binary column {self.name!r} must name exactly 2 states",
+            )
+
+    @property
+    def n_encoded(self) -> int:
+        """Number of features this column expands to under indicator encoding."""
+        if self.kind is ColumnKind.CATEGORICAL:
+            return len(self.categories)
+        return 1
+
+    def encoded_names(self) -> list[str]:
+        """Names of the features this column expands to."""
+        if self.kind is ColumnKind.CATEGORICAL:
+            return [f"{self.name}={cat}" for cat in self.categories]
+        return [self.name]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of feature columns plus the label column name.
+
+    The label is always held by the task party and never encoded as a
+    feature; it is tracked here only so loaders can validate tables.
+    """
+
+    columns: tuple[Column, ...]
+    label: str = "label"
+    name: str = ""
+    _index: dict[str, Column] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        require(len(set(names)) == len(names), "schema has duplicate column names")
+        require(self.label not in names, "label must not also be a feature column")
+        object.__setattr__(self, "_index", {c.name: c for c in self.columns})
+
+    @classmethod
+    def of(cls, columns: Iterable[Column], *, label: str = "label", name: str = "") -> "Schema":
+        """Build a schema from any iterable of columns."""
+        return cls(columns=tuple(columns), label=label, name=name)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising ``KeyError`` with context."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name or '<anonymous>'} has no column {name!r}; "
+                f"known: {sorted(self._index)}"
+            ) from None
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Raw (pre-encoding) feature column names, in order."""
+        return [c.name for c in self.columns]
+
+    @property
+    def n_raw_features(self) -> int:
+        """Number of original feature columns (paper Table 2, row 2)."""
+        return len(self.columns)
+
+    @property
+    def n_encoded_features(self) -> int:
+        """Total features after indicator encoding."""
+        return sum(c.n_encoded for c in self.columns)
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (order taken from ``names``)."""
+        return Schema.of(
+            (self.column(n) for n in names), label=self.label, name=self.name
+        )
+
+    def encoded_names(self) -> list[str]:
+        """All encoded feature names, in schema order."""
+        out: list[str] = []
+        for col in self.columns:
+            out.extend(col.encoded_names())
+        return out

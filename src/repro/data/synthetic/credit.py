@@ -1,0 +1,171 @@
+"""Synthetic Credit: default of credit-card clients (Taiwan, 2005).
+
+Schema-faithful stand-in for the UCI "default of credit card clients"
+dataset (30 000 rows; the CSV's 25 variables include an ID and the
+label).  After indicator encoding our split matches the paper's Table 2:
+9 task-party features and 21 data-party features.
+
+The task party (a bank running the scoring model) holds demographics
+and the credit limit; the data party (a payment processor) holds the
+six months of repayment statuses, bill amounts, payment amounts and
+three engineered aggregates.  Default risk is driven mostly by the
+repayment statuses — data-party signal — but the base rate is low, so
+relative accuracy gains are small: Credit is the paper's small-ΔG
+dataset (realised ΔG ≈ 0.005 with RF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Column, ColumnKind, Schema
+from repro.data.synthetic.base import (
+    RawDataset,
+    categorical_column,
+    categorical_effect,
+    labels_from_score,
+    numeric_column,
+)
+from repro.data.table import Table
+from repro.utils.rng import spawn
+
+__all__ = ["CREDIT_SCHEMA", "load_credit"]
+
+_PAY_COLUMNS = ("pay_0", "pay_2", "pay_3", "pay_4", "pay_5", "pay_6")
+_BILL_COLUMNS = tuple(f"bill_amt{i}" for i in range(1, 7))
+_PAY_AMT_COLUMNS = tuple(f"pay_amt{i}" for i in range(1, 7))
+
+CREDIT_SCHEMA = Schema.of(
+    [
+        Column("limit_bal", ColumnKind.NUMERIC, description="credit limit (NT$)"),
+        Column("sex", ColumnKind.BINARY, ("male", "female")),
+        Column(
+            "education",
+            ColumnKind.CATEGORICAL,
+            ("graduate", "university", "high_school", "other"),
+        ),
+        Column("marriage", ColumnKind.CATEGORICAL, ("married", "other")),
+        Column("age", ColumnKind.NUMERIC, description="age in years"),
+        *[
+            Column(name, ColumnKind.NUMERIC, description="repayment status (months late)")
+            for name in _PAY_COLUMNS
+        ],
+        *[
+            Column(name, ColumnKind.NUMERIC, description="bill statement amount")
+            for name in _BILL_COLUMNS
+        ],
+        *[
+            Column(name, ColumnKind.NUMERIC, description="previous payment amount")
+            for name in _PAY_AMT_COLUMNS
+        ],
+        Column("avg_bill", ColumnKind.NUMERIC, description="mean bill amount"),
+        Column("avg_pay_amt", ColumnKind.NUMERIC, description="mean payment amount"),
+        Column("utilization", ColumnKind.NUMERIC, description="avg bill / limit"),
+    ],
+    label="default",
+    name="credit",
+)
+
+# Task party: demographics + limit -> 1+1+4+2+1 = 9 encoded.
+_TASK_COLUMNS = ("limit_bal", "sex", "education", "marriage", "age")
+# Data party: 6 pay + 6 bill + 6 pay_amt + 3 aggregates = 21 encoded.
+_DATA_COLUMNS = _PAY_COLUMNS + _BILL_COLUMNS + _PAY_AMT_COLUMNS + (
+    "avg_bill",
+    "avg_pay_amt",
+    "utilization",
+)
+
+
+def load_credit(n_samples: int = 30_000, *, seed: int = 0) -> RawDataset:
+    """Generate the synthetic Credit dataset (default n matches UCI's 30k)."""
+    rng = spawn(seed, "credit", "generate")
+
+    # Financial-stress latent: high = struggling borrower.
+    stress = rng.standard_normal(n_samples)
+
+    limit_bal = numeric_column(
+        rng, -stress, rho=0.5, loc=11.8, scale=0.8, dist="lognormal",
+        clip=(10_000.0, 1_000_000.0), round_to=-3,
+    )
+    sex_female = (rng.random(n_samples) < 0.6).astype(np.float64)
+    education = categorical_column(
+        rng, -stress, base_logits=(0.2, 0.5, -0.4, -2.2), slopes=(0.5, 0.0, -0.5, -0.1)
+    )
+    marriage = categorical_column(rng, stress, base_logits=(0.1, -0.1), slopes=(0.1, -0.1))
+    age = numeric_column(
+        rng, -stress, rho=0.15, loc=35.5, scale=9.2, clip=(21.0, 79.0), round_to=0
+    )
+
+    # Six months of repayment status; autocorrelated via the latent.
+    pay_status = {}
+    for i, name in enumerate(_PAY_COLUMNS):
+        raw = numeric_column(rng, stress, rho=0.75, loc=-0.4 + 0.04 * i, scale=1.1)
+        pay_status[name] = np.clip(np.round(raw), -2.0, 8.0)
+
+    bills = {}
+    for i, name in enumerate(_BILL_COLUMNS):
+        bills[name] = numeric_column(
+            rng, stress, rho=0.45, loc=10.2 - 0.05 * i, scale=1.1, dist="lognormal",
+            clip=(0.0, 900_000.0), round_to=0,
+        )
+    pay_amts = {}
+    for i, name in enumerate(_PAY_AMT_COLUMNS):
+        pay_amts[name] = numeric_column(
+            rng, -stress, rho=0.4, loc=8.2 - 0.03 * i, scale=1.2, dist="lognormal",
+            clip=(0.0, 500_000.0), round_to=0,
+        )
+
+    avg_bill = np.mean(np.column_stack(list(bills.values())), axis=1)
+    avg_pay_amt = np.mean(np.column_stack(list(pay_amts.values())), axis=1)
+    utilization = np.clip(avg_bill / np.maximum(limit_bal, 1.0), 0.0, 4.0)
+
+    # Default risk: dominated by recent repayment statuses (data party),
+    # utilisation (data party) and, weakly, limit/education (task party).
+    recent_pay = (
+        0.55 * pay_status["pay_0"]
+        + 0.30 * pay_status["pay_2"]
+        + 0.18 * pay_status["pay_3"]
+        + 0.10 * pay_status["pay_4"]
+        + 0.06 * pay_status["pay_5"]
+        + 0.04 * pay_status["pay_6"]
+    )
+    # Calibration note: default risk is mostly explained by the shared
+    # financial-stress latent, which the task party's limit/demographics
+    # already proxy; the data party's behavioural features add a small
+    # *incremental* accuracy edge — Credit is the paper's smallest-ΔG
+    # dataset (realised ΔG in the 1e-3..1e-2 range).
+    score = (
+        0.38 * recent_pay
+        + 0.25 * utilization
+        - 0.18 * np.log1p(avg_pay_amt) / 10.0
+        - 0.55 * (np.log(limit_bal) - 11.8)
+        + categorical_effect(education, (-0.25, 0.0, 0.28, 0.10))
+        + categorical_effect(marriage, (-0.08, 0.08))
+        - 0.006 * (age - 35.5)
+        + 0.50 * rng.standard_normal(n_samples)
+    )
+    y = labels_from_score(rng, score, positive_rate=0.221)
+
+    columns: dict[str, np.ndarray] = {
+        "limit_bal": limit_bal,
+        "sex": sex_female,
+        "education": education,
+        "marriage": marriage,
+        "age": age,
+    }
+    columns.update(pay_status)
+    columns.update(bills)
+    columns.update(pay_amts)
+    columns["avg_bill"] = avg_bill
+    columns["avg_pay_amt"] = avg_pay_amt
+    columns["utilization"] = utilization
+
+    return RawDataset(
+        name="credit",
+        table=Table(columns),
+        schema=CREDIT_SCHEMA,
+        y=y,
+        task_columns=_TASK_COLUMNS,
+        data_columns=_DATA_COLUMNS,
+        n_original_features=25,
+    )

@@ -1,0 +1,177 @@
+"""An immutable, column-oriented table.
+
+The library avoids a pandas dependency with a small column store:
+named, equal-length numpy arrays.  Raw categorical columns hold integer
+*codes* (indices into :attr:`repro.data.schema.Column.categories`);
+numeric columns hold floats and may contain NaN for missing values.
+
+Tables are immutable — every transformation returns a new ``Table``
+sharing the underlying (read-only) arrays where possible.  This keeps
+party-local views safe to hand across the simulated VFL boundary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["Table"]
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Return a read-only view (copying only if needed to own the data)."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValueError(f"table columns must be 1-D, got ndim={arr.ndim}")
+    if arr.flags.writeable:
+        arr = arr.copy()
+        arr.flags.writeable = False
+    return arr
+
+
+class Table:
+    """Immutable mapping of column name -> 1-D numpy array.
+
+    >>> t = Table({"age": [31.0, 44.0], "sex": [0, 1]})
+    >>> t.n_rows, t.column_names
+    (2, ['age', 'sex'])
+    >>> t.select(["sex"]).to_matrix()
+    array([[0.],
+           [1.]])
+    """
+
+    __slots__ = ("_columns", "_n_rows")
+
+    def __init__(self, columns: Mapping[str, object]):
+        frozen: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for name, values in columns.items():
+            arr = _freeze(np.asarray(values))
+            if n_rows is None:
+                n_rows = arr.shape[0]
+            elif arr.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {name!r} has {arr.shape[0]} rows, expected {n_rows}"
+                )
+            frozen[name] = arr
+        require(frozen != {}, "table must have at least one column")
+        self._columns = frozen
+        self._n_rows = int(n_rows or 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            np.array_equal(self._columns[n], other._columns[n], equal_nan=True)
+            for n in self._columns
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}:{a.dtype}" for n, a in self._columns.items())
+        return f"Table({self._n_rows} rows; {cols})"
+
+    def column(self, name: str) -> np.ndarray:
+        """The (read-only) array stored under ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table has no column {name!r}; known: {self.column_names}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new tables)
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        """Table with only ``names``, in the given order."""
+        return Table({n: self.column(n) for n in names})
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Table without ``names``."""
+        dropped = set(names)
+        kept = {n: a for n, a in self._columns.items() if n not in dropped}
+        return Table(kept)
+
+    def with_column(self, name: str, values: object) -> "Table":
+        """Table with ``name`` appended (or replaced, if already present)."""
+        cols = dict(self._columns)
+        cols[name] = np.asarray(values)
+        return Table(cols)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Table with columns renamed per ``mapping`` (others unchanged)."""
+        return Table({mapping.get(n, n): a for n, a in self._columns.items()})
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Row subset/reorder by integer indices."""
+        idx = np.asarray(indices)
+        return Table({n: a[idx] for n, a in self._columns.items()})
+
+    def hstack(self, other: "Table") -> "Table":
+        """Column-wise concatenation; names must not collide."""
+        overlap = set(self._columns) & set(other._columns)
+        require(not overlap, f"hstack column collision: {sorted(overlap)}")
+        require(
+            self._n_rows == other._n_rows,
+            f"hstack row mismatch: {self._n_rows} vs {other._n_rows}",
+        )
+        cols = dict(self._columns)
+        cols.update(other._columns)
+        return Table(cols)
+
+    def to_matrix(self, dtype: type = np.float64) -> np.ndarray:
+        """Dense ``(n_rows, n_columns)`` matrix in column order."""
+        return np.column_stack(
+            [np.asarray(a, dtype=dtype) for a in self._columns.values()]
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-column summary statistics (NaN-aware for numerics)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, arr in self._columns.items():
+            values = np.asarray(arr, dtype=np.float64)
+            finite = values[np.isfinite(values)]
+            out[name] = {
+                "mean": float(finite.mean()) if finite.size else float("nan"),
+                "std": float(finite.std()) if finite.size else float("nan"),
+                "min": float(finite.min()) if finite.size else float("nan"),
+                "max": float(finite.max()) if finite.size else float("nan"),
+                "missing": float(np.isnan(values).mean()),
+            }
+        return out

@@ -1,0 +1,74 @@
+"""Statistical aggregation: means, confidence bands, densities."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.validation import require
+
+__all__ = ["density", "mean_ci", "mean_std", "nan_mean_ci"]
+
+
+def mean_ci(values: object, *, confidence: float = 0.95) -> tuple[float, float]:
+    """Mean and half-width of the normal-approximation CI."""
+    arr = np.asarray(values, dtype=float)
+    require(arr.size >= 1, "need at least one value")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    z = float(stats.norm.ppf(0.5 + confidence / 2))
+    half = z * float(arr.std(ddof=1)) / np.sqrt(arr.size)
+    return mean, half
+
+
+def mean_std(values: object) -> tuple[float, float]:
+    """Mean and standard deviation (ddof=1 when possible)."""
+    arr = np.asarray(values, dtype=float)
+    require(arr.size >= 1, "need at least one value")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1))
+
+
+def nan_mean_ci(
+    matrix: np.ndarray, *, confidence: float = 0.95, min_alive: int = 2
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-wise mean/CI ignoring NaN (runs that already terminated).
+
+    Returns ``(mean, half_width, n_alive)`` per column; columns with
+    fewer than ``min_alive`` live runs yield NaN means.
+    """
+    alive = np.sum(~np.isnan(matrix), axis=0)
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        mean = np.nanmean(matrix, axis=0)
+        sd = np.nanstd(matrix, axis=0, ddof=1)
+    z = float(stats.norm.ppf(0.5 + confidence / 2))
+    half = z * sd / np.sqrt(np.maximum(alive, 1))
+    mean = np.where(alive >= min_alive, mean, np.nan)
+    half = np.where(alive >= min_alive, half, np.nan)
+    return mean, half, alive
+
+
+def density(samples: object, grid: np.ndarray | None = None, *, n_grid: int = 64):
+    """Gaussian KDE over ``samples`` (paper's Figure 2 d/e panels).
+
+    Returns ``(grid, density_values)``; degenerate samples (constant or
+    too few) fall back to a point-mass histogram.
+    """
+    arr = np.asarray(samples, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    require(arr.size >= 1, "need at least one finite sample")
+    if grid is None:
+        lo, hi = float(arr.min()), float(arr.max())
+        span = (hi - lo) or max(abs(lo), 1.0) * 0.1
+        grid = np.linspace(lo - 0.25 * span, hi + 0.25 * span, n_grid)
+    if arr.size < 3 or np.ptp(arr) < 1e-12:
+        values = np.zeros_like(grid)
+        values[np.argmin(np.abs(grid - arr.mean()))] = 1.0
+        return grid, values
+    kde = stats.gaussian_kde(arr)
+    return grid, kde(grid)

@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: cached markets and trace extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import scale
+from repro.market.engine import BargainOutcome
+from repro.market.market import Market
+
+__all__ = ["clear_market_cache", "get_market", "round_matrix"]
+
+_MARKET_CACHE: dict[tuple, Market] = {}
+
+
+def get_market(
+    dataset: str,
+    base_model: str = "random_forest",
+    *,
+    seed: int = 0,
+) -> Market:
+    """Build (or reuse) the full market stack for one dataset/model.
+
+    Oracle construction dominates experiment cost, so markets are
+    cached per (dataset, model, seed, scale-tier) for the process
+    lifetime — every figure/table for a given market shares one oracle,
+    exactly as the paper's platform pre-computes gains once.
+    """
+    tier = scale()
+    key = (dataset, base_model, seed, tier.name)
+    if key not in _MARKET_CACHE:
+        _MARKET_CACHE[key] = Market.for_dataset(
+            dataset,
+            base_model=base_model,
+            quick=tier.quick,
+            seed=seed,
+            n_bundles=tier.n_bundles,
+        )
+    return _MARKET_CACHE[key]
+
+
+def clear_market_cache() -> None:
+    """Drop cached markets (tests use this to control memory)."""
+    _MARKET_CACHE.clear()
+
+
+def round_matrix(
+    outcomes: list[BargainOutcome],
+    field: str,
+    *,
+    max_round: int | None = None,
+) -> np.ndarray:
+    """Per-round values as an ``(n_runs, max_round)`` array.
+
+    ``field`` is a :class:`~repro.market.engine.RoundRecord` attribute
+    (``"net_profit"``, ``"payment"``, ``"delta_g"``).  Accepted runs are
+    padded with their final value after termination (the agreed deal
+    persists); failed runs are NaN after their last round, so per-round
+    means aggregate over runs still alive — matching how the paper's
+    curves remain defined while runs drop out.
+    """
+    if max_round is None:
+        max_round = max(o.n_rounds for o in outcomes)
+    matrix = np.full((len(outcomes), max_round), np.nan)
+    for i, outcome in enumerate(outcomes):
+        for record in outcome.history:
+            if record.round_number <= max_round and record.bundle is not None:
+                matrix[i, record.round_number - 1] = getattr(record, field)
+        if outcome.accepted and outcome.n_rounds < max_round:
+            matrix[i, outcome.n_rounds :] = getattr(
+                outcome.history[-1], field
+            )
+    return matrix

@@ -1,0 +1,83 @@
+"""Market-level bargaining configuration.
+
+One :class:`MarketConfig` fixes everything both parties agree on before
+the game starts: the task party's economics (utility rate ``u``, budget
+``B``), the opening quote components, the termination tolerances, and
+the protocol constants (round cap, candidate-set size, exploration
+length for imperfect information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import require
+
+__all__ = ["MarketConfig"]
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Shared constants of one bargaining game.
+
+    Attributes
+    ----------
+    utility_rate:
+        ``u`` — task party's utility per unit of ΔG (must exceed any
+        payment rate, Assumption of §3.4.2).
+    budget:
+        ``B`` — hard cap on the highest payment ``Ph``.
+    initial_rate / initial_base:
+        ``p^0`` and ``P0^0`` of the opening quote.
+    target_gain:
+        ΔG* the task party aims for; ``None`` lets strategies derive it
+        (perfect info: top of the known gain distribution).
+    target_quantile:
+        Quantile of the known gains used when ``target_gain`` is None.
+    eps_d / eps_t:
+        Termination tolerances of Cases 2 and 5.
+    eps_dc / eps_tc:
+        Cost-tolerances of Eqs. 6-7 (cost-aware acceptance).
+    max_rounds:
+        Bargaining cap; exceeding it fails the transaction (§4.1.2
+        uses 500).
+    n_price_samples:
+        Size of the candidate quote set sampled per re-quote
+        (Algorithm 1, line 16).
+    exploration_rounds:
+        ``N`` — rounds with relaxed termination under imperfect
+        information (§4.4 uses 100).
+    """
+
+    utility_rate: float
+    budget: float
+    initial_rate: float
+    initial_base: float
+    target_gain: float | None = None
+    target_quantile: float = 1.0
+    eps_d: float = 1e-3
+    eps_t: float = 1e-3
+    eps_dc: float = 1e-2
+    eps_tc: float = 1e-2
+    max_rounds: int = 500
+    n_price_samples: int = 120
+    exploration_rounds: int = 100
+
+    def __post_init__(self) -> None:
+        require(self.utility_rate > 0, "utility_rate must be > 0")
+        require(self.initial_rate > 0, "initial_rate must be > 0")
+        require(
+            self.utility_rate > self.initial_rate,
+            "individual rationality requires u > p0",
+        )
+        require(self.initial_base >= 0, "initial_base must be >= 0")
+        require(self.budget > self.initial_base, "budget must exceed initial_base")
+        require(0 < self.target_quantile <= 1.0, "target_quantile in (0, 1]")
+        require(self.eps_d >= 0 and self.eps_t >= 0, "tolerances must be >= 0")
+        require(self.max_rounds >= 1, "max_rounds must be >= 1")
+        require(self.n_price_samples >= 1, "n_price_samples must be >= 1")
+        require(self.exploration_rounds >= 0, "exploration_rounds must be >= 0")
+
+    def with_overrides(self, **kwargs: object) -> "MarketConfig":
+        """A modified copy (dataclass ``replace`` with validation)."""
+        return replace(self, **kwargs)

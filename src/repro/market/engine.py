@@ -1,0 +1,219 @@
+"""The iterative bargaining engine (§3.3, Algorithm 1).
+
+One round = Step 1 (task party quotes) -> Step 2 (data party offers a
+bundle or fails) -> Step 3 (VFL course realises ΔG) -> termination
+checks on both sides.  The engine is strategy-agnostic: perfect-info,
+baseline and imperfect-info parties all plug into the same loop, and
+the cost models/termination tolerances come from the strategies
+themselves.
+
+The engine records a full :class:`RoundRecord` trail; experiment
+harnesses aggregate those into the paper's Figure 2/3 curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.market.bundle import FeatureBundle
+from repro.market.costs import CostModel, NoCost
+from repro.market.oracle import PerformanceOracle
+from repro.market.pricing import QuotedPrice, ReservedPrice
+from repro.market.strategies.base import DataStrategy, TaskStrategy
+from repro.market.termination import Decision
+from repro.utils.validation import require
+
+__all__ = ["BargainOutcome", "BargainingEngine", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one bargaining round."""
+
+    round_number: int
+    quote: QuotedPrice
+    bundle: FeatureBundle | None
+    delta_g: float
+    payment: float
+    net_profit: float
+    cost_task: float
+    cost_data: float
+    data_decision: Decision
+    task_decision: Decision | None
+
+
+@dataclass(frozen=True)
+class BargainOutcome:
+    """Terminal state of one bargaining game.
+
+    ``status`` is ``"accepted"`` (transaction succeeded), ``"failed"``
+    (a party walked away — Cases 1/4) or ``"max_rounds"`` (round cap,
+    counted as failed per §4.1.2).  Monetary fields are the *final
+    round's* realised quantities; the ``*_after_cost`` variants follow
+    §3.4.4's additive cost treatment.
+    """
+
+    status: str
+    terminated_by: str
+    n_rounds: int
+    quote: QuotedPrice | None
+    bundle: FeatureBundle | None
+    delta_g: float
+    payment: float
+    net_profit: float
+    cost_task: float
+    cost_data: float
+    reserved_of_bundle: ReservedPrice | None
+    history: list[RoundRecord] = field(repr=False, default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        """True when the transaction succeeded."""
+        return self.status == "accepted"
+
+    @property
+    def net_profit_after_cost(self) -> float:
+        """``u·ΔG − payment − C_t(T)`` (§3.4.4)."""
+        return self.net_profit - self.cost_task
+
+    @property
+    def payment_after_cost(self) -> float:
+        """``payment − C_d(T)`` (§3.4.4)."""
+        return self.payment - self.cost_data
+
+
+class BargainingEngine:
+    """Runs one bargaining game between two strategies over an oracle.
+
+    Parameters
+    ----------
+    task_strategy / data_strategy:
+        The two parties.
+    oracle:
+        The performance-gain ground truth; ``oracle.delta_g(bundle)``
+        *is* the VFL course of Step 3 (pre-computed by the platform).
+    utility_rate:
+        ``u`` for net-profit accounting.
+    cost_task / cost_data:
+        Additive bargaining-cost models (default frictionless).
+    reserved_prices:
+        Optional reporting aid: lets outcomes carry the reserved price
+        of the transacted bundle (Table 4's Δp / ΔP0 columns).
+    max_rounds:
+        Hard cap; exceeding it fails the transaction.
+    """
+
+    def __init__(
+        self,
+        task_strategy: TaskStrategy,
+        data_strategy: DataStrategy,
+        oracle: PerformanceOracle,
+        *,
+        utility_rate: float,
+        cost_task: CostModel | None = None,
+        cost_data: CostModel | None = None,
+        reserved_prices: dict[FeatureBundle, ReservedPrice] | None = None,
+        max_rounds: int = 500,
+    ):
+        require(utility_rate > 0, "utility_rate must be > 0")
+        require(max_rounds >= 1, "max_rounds must be >= 1")
+        self.task = task_strategy
+        self.data = data_strategy
+        self.oracle = oracle
+        self.utility_rate = float(utility_rate)
+        self.cost_task = cost_task or NoCost()
+        self.cost_data = cost_data or NoCost()
+        self.reserved_prices = reserved_prices or {}
+        self.max_rounds = int(max_rounds)
+
+    # ------------------------------------------------------------------
+    def _outcome(
+        self,
+        status: str,
+        terminated_by: str,
+        round_number: int,
+        record: RoundRecord | None,
+        history: list[RoundRecord],
+    ) -> BargainOutcome:
+        if record is None or record.bundle is None:
+            return BargainOutcome(
+                status=status,
+                terminated_by=terminated_by,
+                n_rounds=round_number,
+                quote=record.quote if record else None,
+                bundle=None,
+                delta_g=float("nan"),
+                payment=0.0,
+                net_profit=0.0,
+                cost_task=self.cost_task(round_number),
+                cost_data=self.cost_data(round_number),
+                reserved_of_bundle=None,
+                history=history,
+            )
+        return BargainOutcome(
+            status=status,
+            terminated_by=terminated_by,
+            n_rounds=round_number,
+            quote=record.quote,
+            bundle=record.bundle,
+            delta_g=record.delta_g,
+            payment=record.payment,
+            net_profit=record.net_profit,
+            cost_task=record.cost_task,
+            cost_data=record.cost_data,
+            reserved_of_bundle=self.reserved_prices.get(record.bundle),
+            history=history,
+        )
+
+    def run(self) -> BargainOutcome:
+        """Play the game to termination and return the outcome."""
+        history: list[RoundRecord] = []
+        quote = self.task.initial_quote()
+        record: RoundRecord | None = None
+        for round_number in range(1, self.max_rounds + 1):
+            # Step 2: the data party reacts to the standing quote.
+            response = self.data.respond(quote, round_number)
+            if response.decision is Decision.FAIL:
+                fail_record = RoundRecord(
+                    round_number, quote, None, float("nan"), 0.0, 0.0,
+                    self.cost_task(round_number), self.cost_data(round_number),
+                    Decision.FAIL, None,
+                )
+                history.append(fail_record)
+                return self._outcome("failed", "data_party", round_number, fail_record, history)
+            bundle = response.bundle
+            assert bundle is not None
+            # Step 3: the VFL course realises the gain.
+            delta_g = self.oracle.delta_g(bundle)
+            payment = quote.payment(delta_g)
+            net_profit = self.utility_rate * delta_g - payment
+            record = RoundRecord(
+                round_number=round_number,
+                quote=quote,
+                bundle=bundle,
+                delta_g=delta_g,
+                payment=payment,
+                net_profit=net_profit,
+                cost_task=self.cost_task(round_number),
+                cost_data=self.cost_data(round_number),
+                data_decision=response.decision,
+                task_decision=None,
+            )
+            history.append(record)
+            # Both parties observe the realised gain (estimator updates).
+            self.task.observe(quote, bundle, delta_g)
+            self.data.observe(quote, bundle, delta_g)
+            if response.decision is Decision.ACCEPT:
+                return self._outcome("accepted", "data_party", round_number, record, history)
+            # Step 1 of the next round: the task party reacts.
+            decision = self.task.decide(quote, delta_g, round_number)
+            history[-1] = record = replace(record, task_decision=decision.decision)
+            if decision.decision is Decision.FAIL:
+                return self._outcome("failed", "task_party", round_number, record, history)
+            if decision.decision is Decision.ACCEPT:
+                return self._outcome("accepted", "task_party", round_number, record, history)
+            assert decision.quote is not None
+            quote = decision.quote
+        return self._outcome(
+            "max_rounds", "engine", self.max_rounds, record, history
+        )

@@ -1,0 +1,95 @@
+"""Equilibrium theory utilities: Theorem 3.1, Lemma 3.1, Props. 3.1-3.2.
+
+These functions make the paper's analysis executable:
+
+* :func:`equivalent_quote` constructs the outcome-preserving transformed
+  quote of **Theorem 3.1** (cap tightened to ``P0 + p·ΔG``);
+* :func:`select_dominant_quote` applies **Lemma 3.1**'s weak-dominance
+  argument to a candidate set;
+* :func:`is_equilibrium_price` tests the **Eq. 5** criterion
+  ``(Ph − P0)/p = ΔG``;
+* :func:`epsilon_t_from_cost_tolerance` / :func:`epsilon_d_from_cost_tolerance`
+  are the closed-form threshold conversions of **Props. 3.1/3.2**
+  (constant-cost bargaining reduces to the ε-termination rules).
+"""
+
+from __future__ import annotations
+
+from repro.market.objectives import task_net_profit
+from repro.market.pricing import QuotedPrice, ReservedPrice
+from repro.utils.validation import require
+
+__all__ = [
+    "epsilon_d_from_cost_tolerance",
+    "epsilon_t_from_cost_tolerance",
+    "equivalent_quote",
+    "is_equilibrium_price",
+    "select_dominant_quote",
+]
+
+
+def equivalent_quote(quote: QuotedPrice, delta_g: float) -> QuotedPrice:
+    """Theorem 3.1's transformed quote ``(p, P0, p·ΔG + P0)``.
+
+    For the bundle realising ``delta_g`` under ``quote``, the returned
+    quote yields the same offered bundle, payment, and net profit while
+    satisfying the equilibrium criterion ``(Ph* − P0*)/p* = ΔG``.
+    """
+    require(delta_g >= 0, "Theorem 3.1 applies to non-negative gains")
+    new_cap = quote.base + quote.rate * delta_g
+    require(
+        new_cap <= quote.cap + 1e-9,
+        "transformed cap exceeds the original quote's cap; "
+        "delta_g must not exceed the original turning point",
+    )
+    return QuotedPrice(rate=quote.rate, base=quote.base, cap=new_cap)
+
+
+def is_equilibrium_price(
+    quote: QuotedPrice, delta_g: float, *, tolerance: float = 1e-9
+) -> bool:
+    """Eq. 5: does ``(Ph − P0)/p`` equal the realised gain (within tolerance)?"""
+    return abs(quote.turning_point - delta_g) <= tolerance
+
+
+def select_dominant_quote(
+    candidates: list[QuotedPrice], delta_g: float, utility_rate: float
+) -> QuotedPrice:
+    """Lemma 3.1: the weakly-dominant quote for achieving ``delta_g``.
+
+    Picks the net-profit-maximising candidate, then applies Theorem
+    3.1's transform so the result satisfies Eq. 5 while yielding the
+    same net profit.
+    """
+    require(bool(candidates), "need at least one candidate quote")
+    best = max(candidates, key=lambda q: task_net_profit(q, delta_g, utility_rate))
+    return equivalent_quote(best, min(delta_g, best.turning_point))
+
+
+def epsilon_t_from_cost_tolerance(
+    eps_tc: float, utility_rate: float, rate: float
+) -> float:
+    """Prop. 3.2: constant-cost acceptance (Eq. 7) equals Case-5 with
+    ``ε_t = ε_tc / (u − p)``."""
+    require(utility_rate > rate, "requires u > p")
+    require(eps_tc >= 0, "eps_tc must be >= 0")
+    return eps_tc / (utility_rate - rate)
+
+
+def epsilon_d_from_cost_tolerance(
+    eps_dc: float,
+    quote: QuotedPrice,
+    reserved: ReservedPrice,
+) -> float:
+    """Prop. 3.1: constant-cost acceptance (Eq. 6) equals Case-2 with
+
+    ``ε_d = (ε_dc − (max{P_l, P0} + max{p_l, p}·TP − Ph)) / p``
+
+    where ``TP`` is the quote's turning point.
+    """
+    require(eps_dc >= 0, "eps_dc must be >= 0")
+    conservative_next = (
+        max(reserved.base, quote.base)
+        + max(reserved.rate, quote.rate) * quote.turning_point
+    )
+    return (eps_dc - (conservative_next - quote.cap)) / quote.rate

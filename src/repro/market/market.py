@@ -1,0 +1,247 @@
+"""The `Market` facade: one object per (dataset, base model) market.
+
+Typical use::
+
+    market = Market.for_dataset("titanic", base_model="random_forest")
+    outcome = market.bargain(seed=0)                       # Strategic
+    outcome = market.bargain(task="increase_price", seed=0)  # baseline
+    outcome = market.bargain(information="imperfect", seed=0)
+
+``for_dataset`` assembles the whole stack: synthetic dataset ->
+vertical partition -> bundle catalogue -> ΔG oracle (the trusted
+platform's pre-bargaining VFL runs) -> cost-based reserved prices ->
+calibrated :class:`~repro.market.config.MarketConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset
+from repro.data.synthetic import load_dataset
+from repro.market.bundle import FeatureBundle, sample_bundles
+from repro.market.config import MarketConfig
+from repro.market.costs import CostModel
+from repro.market.engine import BargainingEngine, BargainOutcome
+from repro.market.oracle import PerformanceOracle
+from repro.market.presets import preset_for
+from repro.market.pricing import ReservedPrice, cost_based_reserved_prices
+from repro.market.strategies.baselines import (
+    IncreasePriceTaskParty,
+    RandomBundleDataParty,
+)
+from repro.market.strategies.data_party import StrategicDataParty
+from repro.market.strategies.imperfect import ImperfectDataParty, ImperfectTaskParty
+from repro.market.strategies.task_party import StrategicTaskParty
+from repro.utils.rng import spawn
+from repro.utils.validation import require
+
+__all__ = ["Market"]
+
+_TASK_STRATEGIES = ("strategic", "increase_price")
+_DATA_STRATEGIES = ("strategic", "random_bundle")
+
+
+@dataclass
+class Market:
+    """A standing VFL feature market for one dataset and base model."""
+
+    oracle: PerformanceOracle
+    reserved_prices: dict[FeatureBundle, ReservedPrice]
+    config: MarketConfig
+    name: str = "market"
+    dataset: PartitionedDataset | None = field(default=None, repr=False)
+    n_data_features: int = 0
+
+    def __post_init__(self) -> None:
+        missing = [b for b in self.oracle.bundles if b not in self.reserved_prices]
+        require(not missing, f"reserved prices missing for {missing[:3]}")
+        if self.n_data_features == 0:
+            self.n_data_features = 1 + max(
+                max(b.indices) for b in self.oracle.bundles
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset_name: str,
+        *,
+        base_model: str = "random_forest",
+        quick: bool = True,
+        seed: int = 0,
+        n_bundles: int | None = None,
+        config_overrides: dict | None = None,
+        model_params: dict | None = None,
+    ) -> "Market":
+        """Build the full market stack for one of the paper's datasets.
+
+        ``quick=True`` uses reduced sample counts so the platform's
+        pre-bargaining VFL sweeps finish in seconds; ``quick=False``
+        restores paper-scale rows.
+        """
+        preset = preset_for(dataset_name)
+        n_samples = preset.quick_n_samples if quick else preset.full_n_samples
+        raw = load_dataset(dataset_name, seed=seed)
+        dataset = raw.prepare(seed=seed, n_subsample=n_samples)
+        catalogue = sample_bundles(
+            dataset.d_data,
+            n_bundles or preset.n_bundles,
+            rng=spawn(seed, dataset_name, "bundles"),
+            min_size=1,
+        )
+        params = dict(
+            preset.rf_params if base_model == "random_forest" else preset.mlp_params
+        )
+        if model_params:
+            params.update(model_params)
+        oracle = PerformanceOracle.build(
+            dataset,
+            catalogue,
+            base_model=base_model,
+            model_params=params,
+            seed=seed,
+        )
+        reserved = cost_based_reserved_prices(
+            catalogue,
+            rng=spawn(seed, dataset_name, "reserved"),
+            gains={b: g for b, g in oracle.gains().items()},
+            **preset.reserved_price_params,
+        )
+        config = preset.config
+        if config.target_gain is None:
+            # Fix the target up front so every strategy variant (and the
+            # imperfect-information setting) shares the same opening state.
+            target = float(
+                np.quantile(
+                    [max(g, 0.0) for g in oracle.gains().values()],
+                    config.target_quantile,
+                )
+            )
+            require(target > 0, f"{dataset_name}: no bundle yields a positive gain")
+            # Keep escalation headroom above the opening cap: the min-cap
+            # concession step scales with (budget - cap), so a budget too
+            # close to the eventual settlement price makes the end-game
+            # crawl (geometrically shrinking concessions).
+            opening_cap = config.initial_base + config.initial_rate * target
+            config = config.with_overrides(
+                target_gain=target,
+                budget=max(config.budget, 2.0 * opening_cap),
+            )
+        if config_overrides:
+            config = config.with_overrides(**config_overrides)
+        return cls(
+            oracle=oracle,
+            reserved_prices=reserved,
+            config=config,
+            name=f"{dataset_name}/{base_model}",
+            dataset=dataset,
+            n_data_features=dataset.d_data,
+        )
+
+    # ------------------------------------------------------------------
+    # Bargaining
+    # ------------------------------------------------------------------
+    def _build_engine(
+        self,
+        task: str,
+        data: str,
+        information: str,
+        seed: object,
+        cost_task: CostModel | None,
+        cost_data: CostModel | None,
+        config: MarketConfig,
+    ) -> BargainingEngine:
+        gains = {b: self.oracle._gains[b] for b in self.oracle.bundles}
+        if information == "imperfect":
+            task_strategy = ImperfectTaskParty(
+                config, rng=spawn(seed, "task", self.name)
+            )
+            data_strategy = ImperfectDataParty(
+                list(gains),
+                self.reserved_prices,
+                config,
+                self.n_data_features,
+                rng=spawn(seed, "data", self.name),
+            )
+            return BargainingEngine(
+                task_strategy,
+                data_strategy,
+                self.oracle,
+                utility_rate=config.utility_rate,
+                cost_task=cost_task,
+                cost_data=cost_data,
+                reserved_prices=self.reserved_prices,
+                max_rounds=config.max_rounds,
+            )
+        require(task in _TASK_STRATEGIES, f"task must be one of {_TASK_STRATEGIES}")
+        require(data in _DATA_STRATEGIES, f"data must be one of {_DATA_STRATEGIES}")
+        known = list(gains.values())
+        if task == "strategic":
+            task_strategy: object = StrategicTaskParty(
+                config, known, cost_model=cost_task, rng=spawn(seed, "task", self.name)
+            )
+        else:
+            task_strategy = IncreasePriceTaskParty(
+                config, known, rng=spawn(seed, "task", self.name)
+            )
+        if data == "strategic":
+            data_strategy: object = StrategicDataParty(
+                gains, self.reserved_prices, config, cost_model=cost_data
+            )
+        else:
+            data_strategy = RandomBundleDataParty(
+                gains, self.reserved_prices, config, rng=spawn(seed, "data", self.name)
+            )
+        return BargainingEngine(
+            task_strategy,
+            data_strategy,
+            self.oracle,
+            utility_rate=config.utility_rate,
+            cost_task=cost_task,
+            cost_data=cost_data,
+            reserved_prices=self.reserved_prices,
+            max_rounds=config.max_rounds,
+        )
+
+    def bargain(
+        self,
+        *,
+        task: str = "strategic",
+        data: str = "strategic",
+        information: str = "perfect",
+        seed: object = 0,
+        cost_task: CostModel | None = None,
+        cost_data: CostModel | None = None,
+        config_overrides: dict | None = None,
+    ) -> BargainOutcome:
+        """Play one bargaining game and return its outcome."""
+        require(
+            information in ("perfect", "imperfect"),
+            "information must be 'perfect' or 'imperfect'",
+        )
+        config = self.config
+        if config_overrides:
+            config = config.with_overrides(**config_overrides)
+        engine = self._build_engine(
+            task, data, information, seed, cost_task, cost_data, config
+        )
+        return engine.run()
+
+    def bargain_many(
+        self,
+        n_runs: int,
+        *,
+        base_seed: int = 0,
+        **kwargs: object,
+    ) -> list[BargainOutcome]:
+        """Repeat :meth:`bargain` with per-run seeds (the paper uses 100)."""
+        require(n_runs >= 1, "n_runs must be >= 1")
+        return [
+            self.bargain(seed=spawn(base_seed, "run", i), **kwargs)  # type: ignore[arg-type]
+            for i in range(n_runs)
+        ]

@@ -1,0 +1,47 @@
+"""Participant objectives (Eqs. 3-4) and derived decision quantities.
+
+* Task party (buyer): maximise **net profit** ``u·ΔG − payment`` —
+  utility of the gained performance minus what it pays (Eq. 3).
+* Data party (seller): offer the bundle whose ΔG lands closest to (but
+  not beyond) the quote's turning point, maximising its payment under
+  the cap (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from repro.market.pricing import QuotedPrice
+from repro.utils.validation import require
+
+__all__ = [
+    "break_even_gain",
+    "data_revenue_gap",
+    "task_net_profit",
+]
+
+
+def task_net_profit(quote: QuotedPrice, delta_g: float, utility_rate: float) -> float:
+    """Realised net profit of the task party (Eq. 3 for a fixed quote)."""
+    return utility_rate * delta_g - quote.payment(delta_g)
+
+
+def data_revenue_gap(quote: QuotedPrice, delta_g: float) -> float:
+    """The data party's objective value ``|Ph − max{P0, P0 + p·ΔG}|`` (Eq. 4).
+
+    Zero exactly when the bundle's gain reaches the turning point —
+    i.e. when the payment saturates at ``Ph``.
+    """
+    return abs(quote.cap - max(quote.base, quote.base + quote.rate * delta_g))
+
+
+def break_even_gain(quote: QuotedPrice, utility_rate: float) -> float:
+    """Minimum ΔG for non-negative task-party profit: ``P0/(u − p)``.
+
+    Below this gain the task party loses money (Case 4 / Case IV
+    failure threshold).  Requires individual rationality ``u > p``
+    (§3.4.2).
+    """
+    require(
+        utility_rate > quote.rate,
+        f"individual rationality requires u > p (u={utility_rate}, p={quote.rate})",
+    )
+    return quote.base / (utility_rate - quote.rate)

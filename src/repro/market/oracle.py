@@ -1,0 +1,132 @@
+"""The performance-gain oracle: the trusted platform of §3.4.
+
+Perfect performance information is *"facilitated through the
+involvement of a trustworthy third party, such as a trading platform,
+which can conduct pre-bargaining training for both parties"*.  The
+oracle plays that platform: it runs one VFL course per catalogued
+bundle up front and answers ΔG queries during bargaining (counting the
+queries, which ground the platform-fee cost models).
+
+For unit tests and synthetic markets, :meth:`PerformanceOracle.from_gains`
+builds an oracle from a plain ``bundle -> ΔG`` mapping without any VFL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset
+from repro.market.bundle import FeatureBundle
+from repro.utils.validation import require
+from repro.vfl.runner import isolated_performance, run_vfl
+
+__all__ = ["PerformanceOracle"]
+
+
+class PerformanceOracle:
+    """Pre-computed ΔG for every bundle in a market's catalogue."""
+
+    def __init__(
+        self,
+        bundles: list[FeatureBundle],
+        gains: dict[FeatureBundle, float],
+        *,
+        isolated: float = float("nan"),
+        base_model: str = "synthetic",
+    ):
+        require(bool(bundles), "oracle needs at least one bundle")
+        missing = [b for b in bundles if b not in gains]
+        require(not missing, f"gains missing for bundles: {missing[:3]}")
+        self.bundles = list(bundles)
+        self._gains = dict(gains)
+        self.isolated = float(isolated)
+        self.base_model = base_model
+        self.query_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gains(cls, gains: dict[FeatureBundle, float]) -> "PerformanceOracle":
+        """Synthetic oracle from a plain mapping (no VFL executed)."""
+        return cls(list(gains), dict(gains))
+
+    @classmethod
+    def build(
+        cls,
+        dataset: PartitionedDataset,
+        bundles: list[FeatureBundle],
+        *,
+        base_model: str = "random_forest",
+        model_params: dict | None = None,
+        seed: object = 0,
+        n_repeats: int = 1,
+    ) -> "PerformanceOracle":
+        """Run VFL courses per bundle (the platform's pre-training).
+
+        ``n_repeats > 1`` averages each bundle's ΔG over independently
+        seeded training runs — the platform reduces evaluation noise so
+        the disclosed gains are not winner's-curse inflated across the
+        catalogue.
+        """
+        require(bool(bundles), "oracle needs at least one bundle")
+        require(n_repeats >= 1, "n_repeats must be >= 1")
+        repeats = [(r, seed if r == 0 else f"{seed}/{r}") for r in range(n_repeats)]
+        m0s = [
+            isolated_performance(
+                dataset, base_model=base_model, model_params=model_params, seed=s
+            )
+            for _, s in repeats
+        ]
+        gains: dict[FeatureBundle, float] = {}
+        for bundle in bundles:
+            values = [
+                run_vfl(
+                    dataset,
+                    bundle.indices,
+                    base_model=base_model,
+                    model_params=model_params,
+                    seed=s,
+                    m0=m0,
+                ).delta_g
+                for (_, s), m0 in zip(repeats, m0s)
+            ]
+            gains[bundle] = float(np.mean(values))
+        return cls(
+            bundles, gains, isolated=float(np.mean(m0s)), base_model=base_model
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def delta_g(self, bundle: FeatureBundle) -> float:
+        """ΔG of one catalogued bundle (counts as a platform query)."""
+        require(bundle in self._gains, f"bundle {bundle.label()} not in catalogue")
+        self.query_count += 1
+        return self._gains[bundle]
+
+    def gains(self) -> dict[FeatureBundle, float]:
+        """A copy of the full catalogue (the |F| values of §3.4)."""
+        self.query_count += len(self._gains)
+        return dict(self._gains)
+
+    @property
+    def max_gain(self) -> float:
+        """ΔG of the best bundle on sale."""
+        return max(self._gains.values())
+
+    @property
+    def min_gain(self) -> float:
+        """ΔG of the weakest bundle on sale."""
+        return min(self._gains.values())
+
+    def best_bundle(self) -> FeatureBundle:
+        """The bundle achieving :attr:`max_gain`."""
+        return max(self._gains, key=lambda b: self._gains[b])
+
+    def quantile_gain(self, q: float) -> float:
+        """A quantile of the gain distribution (used to pick targets)."""
+        return float(np.quantile(list(self._gains.values()), q))
+
+    def __len__(self) -> int:
+        return len(self.bundles)

@@ -1,0 +1,90 @@
+"""Strategy interfaces shared by the bargaining engine.
+
+The engine runs the paper's Step 1-3 loop (§3.3) and delegates all
+decision making to two strategy objects:
+
+* a :class:`TaskStrategy` opens with a quote and, after each VFL
+  course, decides fail / accept / re-quote (Cases 4-6 or IV-VI);
+* a :class:`DataStrategy` answers each quote with fail / a bundle offer
+  / an accepting bundle offer (Cases 1-3 or I-III).
+
+``observe`` hooks deliver each round's realised ΔG so learning
+strategies (imperfect information) can update their estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.market.bundle import FeatureBundle
+from repro.market.pricing import QuotedPrice
+from repro.market.termination import Decision
+
+__all__ = ["DataResponse", "DataStrategy", "TaskDecision", "TaskStrategy"]
+
+
+@dataclass(frozen=True)
+class DataResponse:
+    """The data party's reply to a quote.
+
+    ``decision`` is FAIL (Case 1), ACCEPT (Case 2: terminate with the
+    offered bundle), or CONTINUE (Case 3: offer and keep bargaining).
+    ``bundle`` is None only for FAIL.
+    """
+
+    decision: Decision
+    bundle: FeatureBundle | None = None
+
+
+@dataclass(frozen=True)
+class TaskDecision:
+    """The task party's reaction to a realised gain.
+
+    ``decision`` is FAIL (Case 4), ACCEPT (Case 5), or CONTINUE with a
+    new ``quote`` (Case 6).  ``quote`` is None unless CONTINUE.
+    """
+
+    decision: Decision
+    quote: QuotedPrice | None = None
+
+
+class TaskStrategy:
+    """Interface for the leading (buying) party."""
+
+    def initial_quote(self) -> QuotedPrice:  # pragma: no cover - interface
+        """The opening quote (Algorithm 1, line 2)."""
+        raise NotImplementedError
+
+    def decide(
+        self, quote: QuotedPrice, delta_g: float, round_number: int
+    ) -> TaskDecision:  # pragma: no cover - interface
+        """React to the realised ΔG of the current round."""
+        raise NotImplementedError
+
+    def observe(
+        self, quote: QuotedPrice, bundle: FeatureBundle, delta_g: float
+    ) -> None:
+        """Learning hook; default is stateless."""
+
+    def exploring(self, round_number: int) -> bool:
+        """True while termination rules are relaxed (Case VII)."""
+        return False
+
+
+class DataStrategy:
+    """Interface for the responding (selling) party."""
+
+    def respond(
+        self, quote: QuotedPrice, round_number: int
+    ) -> DataResponse:  # pragma: no cover - interface
+        """Select a bundle for the quote (Algorithm 1, lines 19-25)."""
+        raise NotImplementedError
+
+    def observe(
+        self, quote: QuotedPrice, bundle: FeatureBundle, delta_g: float
+    ) -> None:
+        """Learning hook; default is stateless."""
+
+    def exploring(self, round_number: int) -> bool:
+        """True while termination rules are relaxed (Case VII)."""
+        return False

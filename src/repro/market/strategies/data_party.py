@@ -1,0 +1,111 @@
+"""The strategic data party under perfect performance information (§3.4.1).
+
+Given a quote it (1) discards bundles whose reserved price the quote
+does not meet, then (2) offers the affordable bundle whose ΔG lies
+closest to — without exceeding — the quote's turning point, which
+maximises its payment under the cap (Eq. 4).  Acceptance (Case 2)
+fires when that gap is within ``ε_d``; with bargaining costs, Eq. 6's
+look-ahead rule can accept earlier.
+"""
+
+from __future__ import annotations
+
+from repro.market.bundle import FeatureBundle
+from repro.market.config import MarketConfig
+from repro.market.costs import CostModel, NoCost
+from repro.market.pricing import QuotedPrice, ReservedPrice
+from repro.market.strategies.base import DataResponse, DataStrategy
+from repro.market.termination import (
+    Decision,
+    data_accepts,
+    data_accepts_with_cost,
+    no_affordable_bundle,
+)
+from repro.utils.validation import require
+
+__all__ = ["StrategicDataParty", "select_offer"]
+
+
+def select_offer(
+    candidates: dict[FeatureBundle, float], turning_point: float
+) -> tuple[FeatureBundle, float]:
+    """The Eq. 4 offer rule.
+
+    Among ``candidates`` (bundle -> ΔG), pick the gain closest to but
+    not beyond the turning point; if every candidate overshoots, pick
+    the smallest overshoot (payment saturates at the cap either way, so
+    the cheapest sufficient bundle is offered).
+    """
+    require(bool(candidates), "need at least one candidate bundle")
+    below = {b: g for b, g in candidates.items() if g <= turning_point}
+    pool = below if below else candidates
+    bundle = min(pool, key=lambda b: abs(turning_point - pool[b]))
+    return bundle, candidates[bundle]
+
+
+class StrategicDataParty(DataStrategy):
+    """Turning-point-tracking seller (perfect information).
+
+    Parameters
+    ----------
+    gains:
+        The party's own catalogue: bundle -> ΔG (it knows what each of
+        its bundles is worth to this buyer, §3.4).
+    reserved_prices:
+        Private floors per bundle (Def. 2.4).
+    config:
+        Shared market constants (``eps_d``; cost tolerances).
+    cost_model:
+        Bargaining cost ``C_d``; enables the Eq. 6 acceptance rule.
+    """
+
+    def __init__(
+        self,
+        gains: dict[FeatureBundle, float],
+        reserved_prices: dict[FeatureBundle, ReservedPrice],
+        config: MarketConfig,
+        *,
+        cost_model: CostModel | None = None,
+    ):
+        require(bool(gains), "data party needs a non-empty catalogue")
+        missing = [b for b in gains if b not in reserved_prices]
+        require(not missing, f"reserved price missing for {missing[:3]}")
+        self.gains = dict(gains)
+        self.reserved_prices = dict(reserved_prices)
+        self.config = config
+        self.cost_model = cost_model
+
+    def affordable(self, quote: QuotedPrice) -> dict[FeatureBundle, float]:
+        """Bundles whose reserved price the quote satisfies."""
+        return {
+            b: g
+            for b, g in self.gains.items()
+            if self.reserved_prices[b].satisfied_by(quote)
+        }
+
+    def _target_reserved(self, quote: QuotedPrice) -> ReservedPrice:
+        """Reserved price of the bundle nearest the turning point (F_j in Eq. 6)."""
+        target = min(
+            self.gains, key=lambda b: abs(quote.turning_point - self.gains[b])
+        )
+        return self.reserved_prices[target]
+
+    def respond(self, quote: QuotedPrice, round_number: int) -> DataResponse:
+        """Cases 1-3 of §3.4.3 (plus Eq. 6 when costs are modelled)."""
+        candidates = self.affordable(quote)
+        if no_affordable_bundle(len(candidates)):
+            return DataResponse(Decision.FAIL)
+        bundle, gain = select_offer(candidates, quote.turning_point)
+        if data_accepts(quote, gain, self.config.eps_d):
+            return DataResponse(Decision.ACCEPT, bundle)
+        if self.cost_model is not None and not isinstance(self.cost_model, NoCost):
+            if data_accepts_with_cost(
+                quote,
+                gain,
+                self._target_reserved(quote),
+                self.cost_model,
+                round_number,
+                self.config.eps_dc,
+            ):
+                return DataResponse(Decision.ACCEPT, bundle)
+        return DataResponse(Decision.CONTINUE, bundle)

@@ -1,0 +1,240 @@
+"""Estimation-based strategies for imperfect performance information (§3.5).
+
+Neither party knows any bundle's ΔG up front.  Each round's VFL course
+produces one labelled sample; both parties train online estimators and
+act on predictions:
+
+* the data party predicts every affordable bundle's gain with ``g`` and
+  offers the predicted-closest-below-turning-point bundle (Cases I-III);
+* the task party samples Eq.5-consistent candidate quotes, predicts
+  each quote's achievable gain with ``f``, keeps candidates predicted
+  to reach their turning point, and offers the predicted-net-profit
+  maximiser (falling back to the overall maximiser when none qualify).
+
+During the first ``N`` exploration rounds (Case VII) termination is
+disabled and both parties explore: the task party quotes random
+Eq.5-consistent prices across the whole price box, and the data party
+offers random affordable bundles — giving the estimators diverse
+training data (the paper leaves the exploration policy unspecified;
+random exploration is the natural instantiation and is documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.market.bundle import FeatureBundle
+from repro.market.config import MarketConfig
+from repro.market.estimation import DataGainEstimator, TaskGainEstimator
+from repro.market.pricing import QuotedPrice, ReservedPrice
+from repro.market.strategies.base import (
+    DataResponse,
+    DataStrategy,
+    TaskDecision,
+    TaskStrategy,
+)
+from repro.market.termination import (
+    Decision,
+    data_accepts,
+    no_affordable_bundle,
+    task_accepts,
+    task_fails_regression,
+)
+from repro.utils.rng import as_generator, spawn
+from repro.utils.validation import require
+
+__all__ = ["ImperfectDataParty", "ImperfectTaskParty"]
+
+
+class ImperfectTaskParty(TaskStrategy):
+    """Buyer guided by the price-to-gain estimator ``f`` (§3.5.3)."""
+
+    def __init__(
+        self,
+        config: MarketConfig,
+        *,
+        target_gain: float | None = None,
+        estimator: TaskGainEstimator | None = None,
+        rng: object = None,
+    ):
+        self.config = config
+        self.rng = as_generator(rng)
+        target = target_gain if target_gain is not None else config.target_gain
+        require(
+            target is not None and target > 0,
+            "imperfect information needs an explicit positive target gain",
+        )
+        self.target = float(target)
+        self.estimator = estimator or TaskGainEstimator(rng=spawn(self.rng, "f"))
+        opening_cap = config.initial_base + config.initial_rate * self.target
+        require(opening_cap <= config.budget, "opening cap exceeds budget")
+        self._offer_trail: list[tuple[float, float, float]] = []
+
+    def exploring(self, round_number: int) -> bool:
+        """Case VII window: first N rounds never terminate."""
+        return round_number <= self.config.exploration_rounds
+
+    def initial_quote(self) -> QuotedPrice:
+        """Same Eq.5-consistent opening as the perfect-info strategy."""
+        cfg = self.config
+        return QuotedPrice(
+            rate=cfg.initial_rate,
+            base=cfg.initial_base,
+            cap=cfg.initial_base + cfg.initial_rate * self.target,
+        )
+
+    def observe(self, quote: QuotedPrice, bundle: FeatureBundle, delta_g: float) -> None:
+        """Train ``f`` on the realised (quote, ΔG) pair."""
+        self.estimator.observe(quote, delta_g)
+        self._offer_trail.append((quote.rate, quote.base, float(delta_g)))
+
+    def _best_dominated_previous(self, quote: QuotedPrice) -> float:
+        """Best earlier gain under a quote the current one dominates."""
+        best = float("-inf")
+        for rate, base, gain in self._offer_trail[:-1]:
+            if quote.rate >= rate - 1e-12 and quote.base >= base - 1e-12:
+                best = max(best, gain)
+        return best
+
+    def _sample_box(self, n: int) -> list[QuotedPrice]:
+        """Eq.5-consistent quotes across the admissible price box.
+
+        Individual rationality bounds the box from above: a cap beyond
+        ``u*dG*`` could never be profitable even when the target gain
+        is delivered, so such quotes are never sampled (this matters on
+        thin-margin markets like Adult, where the budget alone would
+        admit loss-making quotes).
+        """
+        cfg = self.config
+        cap_low = cfg.initial_base + cfg.initial_rate * self.target
+        cap_high = min(cfg.budget, 0.95 * cfg.utility_rate * self.target)
+        if cap_high <= cap_low:
+            cap_high = min(cfg.budget, cap_low * 1.25)
+        quotes: list[QuotedPrice] = []
+        for _ in range(n):
+            cap = float(self.rng.uniform(cap_low, cap_high))
+            rate_high = min(cfg.utility_rate, (cap - cfg.initial_base) / self.target)
+            if rate_high <= cfg.initial_rate:
+                continue
+            rate = float(self.rng.uniform(cfg.initial_rate, rate_high))
+            base = cap - rate * self.target
+            quotes.append(QuotedPrice(rate=rate, base=base, cap=cap))
+        return quotes
+
+    def _predicted_profit(self, quote: QuotedPrice, predicted_gain: float) -> float:
+        gain = max(predicted_gain, 0.0)
+        return self.config.utility_rate * gain - quote.payment(gain)
+
+    def decide(
+        self, quote: QuotedPrice, delta_g: float, round_number: int
+    ) -> TaskDecision:
+        """Cases IV-VI with estimation-guided re-quoting."""
+        cfg = self.config
+        if not self.exploring(round_number):
+            # Case IV under the regression reading (see termination module).
+            if task_fails_regression(
+                self.initial_quote(),
+                delta_g,
+                self._best_dominated_previous(quote),
+                cfg.utility_rate,
+            ):
+                return TaskDecision(Decision.FAIL)
+            if task_accepts(quote, delta_g, cfg.eps_t):
+                return TaskDecision(Decision.ACCEPT)
+        candidates = self._sample_box(cfg.n_price_samples)
+        if not candidates:
+            return TaskDecision(Decision.ACCEPT)
+        if self.exploring(round_number + 1):
+            # Pure exploration: a random Eq.5-consistent quote.  (The
+            # quote emitted in the final exploration round is already
+            # estimation-guided, since it becomes the first real offer.)
+            pick = candidates[int(self.rng.integers(0, len(candidates)))]
+            return TaskDecision(Decision.CONTINUE, pick)
+        predictions = self.estimator.predict(candidates)
+        qualified = [
+            (q, g)
+            for q, g in zip(candidates, predictions)
+            if g >= q.turning_point - cfg.eps_t
+        ]
+        pool = qualified if qualified else list(zip(candidates, predictions))
+        best, _ = max(pool, key=lambda pair: self._predicted_profit(*pair))
+        return TaskDecision(Decision.CONTINUE, best)
+
+
+class ImperfectDataParty(DataStrategy):
+    """Seller guided by the bundle-to-gain estimator ``g`` (§3.5.2)."""
+
+    def __init__(
+        self,
+        bundles: list[FeatureBundle],
+        reserved_prices: dict[FeatureBundle, ReservedPrice],
+        config: MarketConfig,
+        n_features: int,
+        *,
+        estimator: DataGainEstimator | None = None,
+        rng: object = None,
+    ):
+        require(bool(bundles), "data party needs a non-empty catalogue")
+        self.bundles = list(bundles)
+        self.reserved_prices = dict(reserved_prices)
+        self.config = config
+        self.rng = as_generator(rng)
+        self.estimator = estimator or DataGainEstimator(
+            n_features, rng=spawn(self.rng, "g")
+        )
+
+    def exploring(self, round_number: int) -> bool:
+        """Case VII window: first N rounds never terminate."""
+        return round_number <= self.config.exploration_rounds
+
+    def observe(self, quote: QuotedPrice, bundle: FeatureBundle, delta_g: float) -> None:
+        """Train ``g`` on the realised (bundle, ΔG) pair."""
+        self.estimator.observe(bundle, delta_g)
+
+    def respond(self, quote: QuotedPrice, round_number: int) -> DataResponse:
+        """Cases I-III on predicted gains (relaxed during exploration)."""
+        affordable = [
+            b for b in self.bundles if self.reserved_prices[b].satisfied_by(quote)
+        ]
+        if no_affordable_bundle(len(affordable)):
+            if self.exploring(round_number):
+                # Case VII: keep the game alive with the cheapest bundle.
+                cheapest = min(
+                    self.bundles, key=lambda b: self.reserved_prices[b].base
+                )
+                return DataResponse(Decision.CONTINUE, cheapest)
+            return DataResponse(Decision.FAIL)
+        if self.exploring(round_number):
+            pick = affordable[int(self.rng.integers(0, len(affordable)))]
+            return DataResponse(Decision.CONTINUE, pick)
+        predicted = self.estimator.predict(affordable)
+        catalogue_predicted = self.estimator.predict(self.bundles)
+        tp = quote.turning_point
+        if tp > float(catalogue_predicted.max()):
+            # Case II-2: the quote asks for more than the party believes
+            # *any* of its bundles can ever deliver — settle with the
+            # predicted-best affordable bundle.  (Scoped to the full
+            # catalogue: an unaffordable-but-promising bundle means the
+            # right move is to keep bargaining for a better price,
+            # Case III, not to settle.)
+            f_max = affordable[int(predicted.argmax())]
+            return DataResponse(Decision.ACCEPT, f_max)
+        if tp < float(catalogue_predicted.min()):
+            # Case II-3: every bundle it owns is predicted to overshoot;
+            # the smallest affordable overshoot saturates the cap at the
+            # least cost.
+            f_min = affordable[int(predicted.argmin())]
+            return DataResponse(Decision.ACCEPT, f_min)
+        below = [(b, g) for b, g in zip(affordable, predicted) if g <= tp]
+        if not below:
+            # All affordable predictions overshoot (better bundles exist
+            # in the catalogue): offering the smallest overshoot still
+            # saturates the cap, but keep bargaining open (Case III).
+            bundle = affordable[int(predicted.argmin())]
+            return DataResponse(Decision.CONTINUE, bundle)
+        bundle, gain_hat = min(below, key=lambda pair: tp - pair[1])
+        if data_accepts(quote, gain_hat, self.config.eps_d):
+            # Case II-1: predicted gain within eps_d of the turning point.
+            return DataResponse(Decision.ACCEPT, bundle)
+        return DataResponse(Decision.CONTINUE, bundle)

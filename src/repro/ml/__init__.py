@@ -1,0 +1,30 @@
+"""Machine-learning substrate: the paper's two base models plus support.
+
+* :class:`~repro.ml.forest.RandomForestClassifier` — tree-based base model.
+* :class:`~repro.ml.nn.mlp.MLPClassifier` — the 3-layer MLP base model.
+* :class:`~repro.ml.nn.regressor.MLPRegressor` /
+  :class:`~repro.ml.nn.regressor.SetEmbeddingRegressor` — the ΔG
+  estimation networks of the imperfect-information setting.
+
+Everything is implemented from scratch on numpy (no sklearn/torch).
+"""
+
+from repro.ml import metrics
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import KFold, cross_val_score
+from repro.ml.nn import MLPClassifier, MLPRegressor, SetEmbeddingRegressor
+from repro.ml.tree import DecisionTreeClassifier, quantile_bin
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "KFold",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "RandomForestClassifier",
+    "SetEmbeddingRegressor",
+    "cross_val_score",
+    "metrics",
+    "quantile_bin",
+]

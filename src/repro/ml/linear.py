@@ -1,0 +1,99 @@
+"""Logistic regression via full-batch gradient descent.
+
+Not one of the paper's base models, but a cheap, convex reference
+classifier: the VFL equivalence tests and several ablations use it to
+sanity-check the performance-gain landscape independently of the more
+complex tree/NN models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive, check_vector, require
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """L2-regularised binary logistic regression.
+
+    Parameters
+    ----------
+    lr:
+        Gradient-descent step size.
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    max_iter:
+        Number of full-batch gradient steps.
+    tol:
+        Early-stop when the gradient norm falls below this.
+    """
+
+    def __init__(
+        self,
+        *,
+        lr: float = 0.5,
+        l2: float = 1e-3,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ):
+        self.lr = check_positive(lr, "lr")
+        self.l2 = float(l2)
+        require(self.l2 >= 0, "l2 must be >= 0")
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: object, y: object) -> "LogisticRegression":
+        """Fit on a binary 0/1 target."""
+        X = check_matrix(X)
+        y = check_vector(y)
+        require(set(np.unique(y)) <= {0.0, 1.0}, "y must be binary 0/1")
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.max_iter):
+            margin = X @ w + b
+            residual = _sigmoid(margin) - y
+            grad_w = X.T @ residual / n + self.l2 * w
+            grad_b = float(residual.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+            if np.sqrt((grad_w**2).sum() + grad_b**2) < self.tol:
+                break
+        self.coef_, self.intercept_ = w, b
+        return self
+
+    def _check_fitted(self) -> np.ndarray:
+        require(self.coef_ is not None, "model must be fit before predicting")
+        assert self.coef_ is not None
+        return self.coef_
+
+    def decision_function(self, X: object) -> np.ndarray:
+        """Raw logits ``Xw + b``."""
+        w = self._check_fitted()
+        return check_matrix(X) @ w + self.intercept_
+
+    def predict_proba(self, X: object) -> np.ndarray:
+        """P(y=1 | x) for each row."""
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: object) -> np.ndarray:
+        """Hard 0/1 predictions at the 0.5 threshold."""
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def score(self, X: object, y: object) -> float:
+        """Accuracy on ``(X, y)``."""
+        y = check_vector(y, dtype=np.int64)
+        return float((self.predict(X) == y).mean())

@@ -1,0 +1,117 @@
+"""Classification and regression metrics.
+
+The paper evaluates base-model performance with **accuracy** (§4.1.1);
+the wider metric set here supports the test-suite and the estimation
+networks (MSE for Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_vector, require
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "log_loss",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "precision",
+    "recall",
+    "roc_auc",
+]
+
+
+def _binary_pair(y_true: object, y_pred: object) -> tuple[np.ndarray, np.ndarray]:
+    t = check_vector(y_true, "y_true", dtype=np.int64)
+    p = check_vector(y_pred, "y_pred", dtype=np.int64)
+    require(t.shape == p.shape, "y_true and y_pred must have the same length")
+    return t, p
+
+
+def accuracy(y_true: object, y_pred: object) -> float:
+    """Fraction of exact label matches."""
+    t, p = _binary_pair(y_true, y_pred)
+    return float((t == p).mean())
+
+
+def confusion_matrix(y_true: object, y_pred: object) -> np.ndarray:
+    """2x2 matrix ``[[tn, fp], [fn, tp]]`` for binary labels."""
+    t, p = _binary_pair(y_true, y_pred)
+    require(set(np.unique(t)) <= {0, 1}, "labels must be binary (0/1)")
+    require(set(np.unique(p)) <= {0, 1}, "predictions must be binary (0/1)")
+    tn = int(((t == 0) & (p == 0)).sum())
+    fp = int(((t == 0) & (p == 1)).sum())
+    fn = int(((t == 1) & (p == 0)).sum())
+    tp = int(((t == 1) & (p == 1)).sum())
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision(y_true: object, y_pred: object) -> float:
+    """tp / (tp + fp); zero when nothing was predicted positive."""
+    (_, fp), (_, tp) = confusion_matrix(y_true, y_pred)
+    return float(tp / (tp + fp)) if (tp + fp) else 0.0
+
+
+def recall(y_true: object, y_pred: object) -> float:
+    """tp / (tp + fn); zero when there are no positives."""
+    (_, _), (fn, tp) = confusion_matrix(y_true, y_pred)
+    return float(tp / (tp + fn)) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: object, y_pred: object) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def roc_auc(y_true: object, y_score: object) -> float:
+    """Area under the ROC curve via the rank statistic (ties averaged)."""
+    t = check_vector(y_true, "y_true", dtype=np.int64)
+    s = check_vector(y_score, "y_score")
+    require(t.shape == s.shape, "y_true and y_score must have the same length")
+    n_pos = int(t.sum())
+    n_neg = t.shape[0] - n_pos
+    require(n_pos > 0 and n_neg > 0, "roc_auc needs both classes present")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, t.shape[0] + 1)
+    # Average ranks within tied score groups.
+    sorted_scores = s[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    rank_sum_pos = ranks[t == 1].sum()
+    return float((rank_sum_pos - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg))
+
+
+def log_loss(y_true: object, y_prob: object, *, eps: float = 1e-12) -> float:
+    """Binary cross-entropy of predicted probabilities."""
+    t = check_vector(y_true)
+    p = np.clip(check_vector(y_prob), eps, 1 - eps)
+    require(t.shape == p.shape, "y_true and y_prob must have the same length")
+    return float(-(t * np.log(p) + (1 - t) * np.log(1 - p)).mean())
+
+
+def mean_squared_error(y_true: object, y_pred: object) -> float:
+    """Mean of squared residuals."""
+    t = check_vector(y_true)
+    p = check_vector(y_pred)
+    require(t.shape == p.shape, "y_true and y_pred must have the same length")
+    return float(np.mean((t - p) ** 2))
+
+
+def mean_absolute_error(y_true: object, y_pred: object) -> float:
+    """Mean of absolute residuals."""
+    t = check_vector(y_true)
+    p = check_vector(y_pred)
+    require(t.shape == p.shape, "y_true and y_pred must have the same length")
+    return float(np.mean(np.abs(t - p)))

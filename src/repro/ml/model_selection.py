@@ -1,0 +1,62 @@
+"""Model-selection utilities: K-fold cross-validation and scoring."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_vector, require
+
+__all__ = ["KFold", "cross_val_score"]
+
+
+class KFold:
+    """Shuffled K-fold splitter.
+
+    >>> folds = list(KFold(3, rng=0).split(9))
+    >>> sorted(len(te) for _, te in folds)
+    [3, 3, 3]
+    """
+
+    def __init__(self, n_splits: int = 5, *, rng: object = None):
+        require(n_splits >= 2, "n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.rng = as_generator(rng)
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs covering all samples."""
+        require(
+            n_samples >= self.n_splits,
+            f"need at least n_splits={self.n_splits} samples, got {n_samples}",
+        )
+        order = self.rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for k in range(self.n_splits):
+            test = np.sort(folds[k])
+            train = np.sort(np.concatenate([folds[j] for j in range(self.n_splits) if j != k]))
+            yield train, test
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X: object,
+    y: object,
+    *,
+    n_splits: int = 5,
+    rng: object = None,
+) -> np.ndarray:
+    """Accuracy of ``model_factory()`` across K folds.
+
+    A fresh model is built per fold, so stateful models cannot leak
+    between folds.
+    """
+    X = check_matrix(X)
+    y = check_vector(y)
+    scores = []
+    for train, test in KFold(n_splits, rng=rng).split(X.shape[0]):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(model.score(X[test], y[test]))
+    return np.asarray(scores)

@@ -1,0 +1,149 @@
+"""Neural-network building blocks with explicit forward/backward passes.
+
+A deliberately small autograd-free design: each layer caches what it
+needs during ``forward`` and returns input gradients from ``backward``.
+Parameters are :class:`Parameter` objects (value + grad) so optimizers
+can update them in place.  The VFL SplitNN protocol relies on this
+explicitness — the boundary between parties is literally the boundary
+between two layer stacks, with activations/gradients as the only
+exchanged messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+__all__ = ["Dense", "EmbeddingBag", "Parameter", "ReLU", "Sequential"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base class: stateless layers simply override the two passes."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters (empty for stateless layers)."""
+        return []
+
+
+class Dense(Layer):
+    """Affine map ``y = xW + b`` with He-scaled initialisation."""
+
+    def __init__(self, n_in: int, n_out: int, *, rng: object = None):
+        require(n_in >= 1 and n_out >= 1, "Dense dims must be >= 1")
+        gen = as_generator(rng)
+        scale = np.sqrt(2.0 / n_in)
+        self.W = Parameter(gen.normal(0.0, scale, size=(n_in, n_out)))
+        self.b = Parameter(np.zeros(n_out))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W.value + self.b.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        require(self._x is not None, "backward called before forward")
+        assert self._x is not None
+        self.W.grad += self._x.T @ grad_out
+        self.b.grad += grad_out.sum(axis=0)
+        return grad_out @ self.W.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.W, self.b]
+
+
+class ReLU(Layer):
+    """Elementwise max(x, 0)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        require(self._mask is not None, "backward called before forward")
+        return grad_out * self._mask
+
+
+class EmbeddingBag(Layer):
+    """Mean-pooled embedding lookup over variable-length index sets.
+
+    The paper's data-party estimator ``g`` embeds each singular feature
+    with ``nn.Embedding`` and averages the embeddings of the features in
+    a bundle (§4.4).  ``forward`` takes a list of integer index arrays
+    (one set per sample) and returns the per-sample mean embedding.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, *, rng: object = None):
+        require(num_embeddings >= 1 and dim >= 1, "EmbeddingBag dims must be >= 1")
+        gen = as_generator(rng)
+        self.weight = Parameter(gen.normal(0.0, 0.1, size=(num_embeddings, dim)))
+        self._batch: list[np.ndarray] | None = None
+
+    def forward(self, index_sets: list[np.ndarray]) -> np.ndarray:  # type: ignore[override]
+        batch = [np.asarray(ix, dtype=np.int64) for ix in index_sets]
+        for ix in batch:
+            require(ix.size > 0, "EmbeddingBag received an empty index set")
+        self._batch = batch
+        table = self.weight.value
+        return np.stack([table[ix].mean(axis=0) for ix in batch])
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        require(self._batch is not None, "backward called before forward")
+        assert self._batch is not None
+        for row_grad, ix in zip(grad_out, self._batch):
+            np.add.at(self.weight.grad, ix, row_grad / ix.size)
+        # Index inputs have no gradient; return zeros of matching length.
+        return np.zeros((len(self._batch), 0))
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight]
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer):
+        require(len(layers) >= 1, "Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: object) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params

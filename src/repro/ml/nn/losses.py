@@ -1,0 +1,45 @@
+"""Loss functions returning ``(loss_value, gradient_wrt_prediction)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["bce_with_logits", "mse_loss", "sigmoid"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy on raw logits.
+
+    Gradient is the classic ``(sigmoid(z) - y) / n`` — combining the
+    sigmoid and the cross-entropy keeps it stable for large ``|z|``.
+    """
+    z = logits.reshape(-1)
+    require(z.shape == np.shape(y), "logits and y must align")
+    n = z.shape[0]
+    # log(1 + exp(-|z|)) + max(z, 0) - z*y, stable in both tails.
+    loss = float(np.mean(np.log1p(np.exp(-np.abs(z))) + np.maximum(z, 0) - z * y))
+    grad = ((sigmoid(z) - y) / n).reshape(logits.shape)
+    return loss, grad
+
+
+def mse_loss(pred: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error."""
+    p = pred.reshape(-1)
+    require(p.shape == np.shape(y), "pred and y must align")
+    n = p.shape[0]
+    residual = p - y
+    loss = float(np.mean(residual**2))
+    grad = (2.0 * residual / n).reshape(pred.shape)
+    return loss, grad

@@ -1,0 +1,36 @@
+"""Security substrate for the §3.6 analysis: Paillier HE, blinded
+comparison of performance gains, and the leakage attack it mitigates."""
+
+from repro.security.paillier import (
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+    is_probable_prime,
+)
+from repro.security.secure_compare import (
+    BlindedComparison,
+    encrypted_gain,
+    secure_payment,
+    secure_threshold_check,
+)
+from repro.security.threat import (
+    attack_advantage,
+    marginal_value_attack,
+    rank_correlation,
+)
+
+__all__ = [
+    "BlindedComparison",
+    "EncryptedNumber",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "attack_advantage",
+    "encrypted_gain",
+    "generate_keypair",
+    "is_probable_prime",
+    "marginal_value_attack",
+    "rank_correlation",
+    "secure_payment",
+    "secure_threshold_check",
+]

@@ -1,0 +1,29 @@
+"""Minimal structured logging for library internals.
+
+The library never configures the root logger; applications opt in with
+:func:`logging.basicConfig`.  Internal modules use ``get_logger(__name__)``
+and log at DEBUG/INFO so experiment harnesses can trace bargaining rounds
+without spamming default output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_LIBRARY_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    ``get_logger("repro.market.engine")`` and ``get_logger("engine")``
+    both resolve under the ``repro`` hierarchy so applications can tune
+    verbosity with a single ``logging.getLogger("repro").setLevel(...)``.
+    """
+    if not name.startswith(_LIBRARY_ROOT):
+        name = f"{_LIBRARY_ROOT}.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,34 @@
+"""Simulated Vertical Federated Learning substrate.
+
+The market prices the *outcome* of VFL courses (§3.6: the market is
+FL-protocol-agnostic), so this package provides two concrete training
+protocols over an in-process message channel with byte accounting:
+
+* :mod:`repro.vfl.fedforest` — SecureBoost-style federated Random
+  Forest: parties exchange histogram aggregates and split masks, never
+  raw features; the fitted ensemble is exactly equal to its centralised
+  counterpart (lossless, tested).
+* :mod:`repro.vfl.splitnn` — SplitNN for the 3-layer MLP: each party
+  owns a bottom encoder; only activations and their gradients cross the
+  boundary.
+
+:func:`repro.vfl.runner.run_vfl` wraps either protocol into the
+performance-gain measurements (ΔG) the bargaining market consumes.
+"""
+
+from repro.vfl.channel import Channel, Message
+from repro.vfl.fedforest import FederatedForest
+from repro.vfl.parties import DataParty, TaskParty
+from repro.vfl.runner import VFLResult, run_vfl
+from repro.vfl.splitnn import SplitNN
+
+__all__ = [
+    "Channel",
+    "DataParty",
+    "FederatedForest",
+    "Message",
+    "SplitNN",
+    "TaskParty",
+    "VFLResult",
+    "run_vfl",
+]

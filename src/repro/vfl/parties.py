@@ -1,0 +1,117 @@
+"""The two VFL participants as data-holding objects.
+
+Party objects hold *only* their local view of the dataset, mirroring
+the paper's §2 setup: the task party owns ``{X_t, Y}``, the data party
+owns ``{X_d}``.  Protocol implementations take both parties plus a
+:class:`~repro.vfl.channel.Channel`; everything a protocol learns about
+the other party must arrive as channel messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset
+from repro.utils.validation import require
+
+__all__ = ["DataParty", "TaskParty"]
+
+TASK = "task_party"
+DATA = "data_party"
+
+
+@dataclass
+class TaskParty:
+    """Label owner and model consumer (the buyer in the market).
+
+    Attributes
+    ----------
+    X:
+        Local ``(n, d_t)`` feature matrix over all aligned samples.
+    y:
+        Binary labels for all aligned samples.
+    train_idx / test_idx:
+        The shared train/test row split (sample alignment is public in
+        VFL; the split is negotiated up front).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    name: str = TASK
+
+    def __post_init__(self) -> None:
+        require(self.X.shape[0] == self.y.shape[0], "X/y row mismatch")
+
+    @property
+    def d(self) -> int:
+        """Local feature count."""
+        return int(self.X.shape[1])
+
+    @property
+    def X_train(self) -> np.ndarray:
+        """Training-row view of the local features."""
+        return self.X[self.train_idx]
+
+    @property
+    def X_test(self) -> np.ndarray:
+        """Test-row view of the local features."""
+        return self.X[self.test_idx]
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """Training labels."""
+        return self.y[self.train_idx]
+
+    @property
+    def y_test(self) -> np.ndarray:
+        """Held-out labels used to score VFL outcomes."""
+        return self.y[self.test_idx]
+
+
+@dataclass
+class DataParty:
+    """Feature owner (the seller in the market).
+
+    ``bundle_view`` restricts the local matrix to the feature bundle
+    under negotiation — only those columns participate in a VFL course.
+    """
+
+    X: np.ndarray
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    name: str = DATA
+
+    @property
+    def d(self) -> int:
+        """Local feature count."""
+        return int(self.X.shape[1])
+
+    def bundle_view(self, feature_indices: object) -> np.ndarray:
+        """Columns of the local matrix selected by a bundle."""
+        idx = np.asarray(list(feature_indices), dtype=np.int64)
+        if idx.size:
+            require(
+                int(idx.min()) >= 0 and int(idx.max()) < self.d,
+                f"bundle indices must be in [0, {self.d})",
+            )
+        return self.X[:, idx]
+
+
+def parties_from_dataset(dataset: PartitionedDataset) -> tuple[TaskParty, DataParty]:
+    """Split a prepared dataset into its two party-local views."""
+    task = TaskParty(
+        X=dataset.X_task,
+        y=dataset.y.astype(np.float64),
+        train_idx=dataset.train_idx,
+        test_idx=dataset.test_idx,
+    )
+    data = DataParty(
+        X=dataset.X_data,
+        train_idx=dataset.train_idx,
+        test_idx=dataset.test_idx,
+    )
+    return task, data

@@ -1,0 +1,178 @@
+"""One-call VFL course execution: isolated baseline vs joint training.
+
+:func:`run_vfl` is the bridge between the VFL substrate and the market:
+it trains the task party's isolated model (``M0``), runs the federated
+protocol on a feature bundle (``M``), and returns the paper's
+performance gain ``ΔG = (M − M0) / M0`` (Eq. 1) along with channel
+traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.nn.mlp import MLPClassifier
+from repro.utils.rng import spawn
+from repro.utils.validation import require
+from repro.vfl.channel import Channel
+from repro.vfl.fedforest import FederatedForest
+from repro.vfl.parties import parties_from_dataset
+from repro.vfl.splitnn import SplitNN
+
+__all__ = ["BASE_MODELS", "VFLResult", "isolated_performance", "run_vfl"]
+
+BASE_MODELS = ("random_forest", "mlp")
+
+_RF_DEFAULTS = {
+    "n_estimators": 15,
+    "max_depth": 8,
+    "min_samples_leaf": 2,
+    "max_features": "sqrt",
+    "max_bins": 32,
+}
+_MLP_DEFAULTS = {
+    "embed_dim": 64,
+    "top_hidden": 32,
+    "epochs": 60,
+    "batch_size": 128,
+    "lr": 1e-2,
+}
+
+
+@dataclass(frozen=True)
+class VFLResult:
+    """Outcome of one VFL course on one feature bundle."""
+
+    bundle: tuple[int, ...]
+    base_model: str
+    performance_isolated: float
+    performance_joint: float
+    channel_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def delta_g(self) -> float:
+        """Relative performance gain ``(M − M0)/M0`` (paper Eq. 1)."""
+        return (self.performance_joint - self.performance_isolated) / max(
+            self.performance_isolated, 1e-12
+        )
+
+
+def _merged(defaults: dict, overrides: dict | None) -> dict:
+    params = dict(defaults)
+    if overrides:
+        unknown = set(overrides) - set(defaults)
+        require(not unknown, f"unknown model params: {sorted(unknown)}")
+        params.update(overrides)
+    return params
+
+
+def isolated_performance(
+    dataset: PartitionedDataset,
+    *,
+    base_model: str = "random_forest",
+    model_params: dict | None = None,
+    seed: object = 0,
+) -> float:
+    """Test accuracy of the task party training alone (``M0``)."""
+    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    rng = spawn(seed, dataset.name, base_model, "isolated")
+    if base_model == "random_forest":
+        params = _merged(_RF_DEFAULTS, model_params)
+        model = RandomForestClassifier(
+            params["n_estimators"],
+            max_depth=params["max_depth"],
+            min_samples_leaf=params["min_samples_leaf"],
+            max_features=params["max_features"],
+            max_bins=params["max_bins"],
+            rng=rng,
+        )
+    else:
+        params = _merged(_MLP_DEFAULTS, model_params)
+        model = MLPClassifier(
+            (params["embed_dim"], params["top_hidden"]),
+            epochs=params["epochs"],
+            batch_size=params["batch_size"],
+            lr=params["lr"],
+            rng=rng,
+        )
+    model.fit(dataset.task_train, dataset.y_train.astype(np.float64))
+    return model.score(dataset.task_test, dataset.y_test)
+
+
+def run_vfl(
+    dataset: PartitionedDataset,
+    bundle: object,
+    *,
+    base_model: str = "random_forest",
+    model_params: dict | None = None,
+    seed: object = 0,
+    channel: Channel | None = None,
+    m0: float | None = None,
+) -> VFLResult:
+    """Execute one VFL course and measure the performance gain.
+
+    Parameters
+    ----------
+    dataset:
+        A prepared (vertically-partitioned) dataset.
+    bundle:
+        Data-party feature indices to train on.
+    base_model:
+        ``"random_forest"`` (federated forest) or ``"mlp"`` (SplitNN).
+    model_params:
+        Overrides for the protocol defaults.
+    seed:
+        Root seed; isolated and joint models use disjoint streams.
+    channel:
+        Supply a channel to accumulate traffic across courses.
+    m0:
+        Pre-computed isolated performance (skips retraining the
+        baseline — the bargaining engine caches it).
+    """
+    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    bundle = tuple(int(i) for i in bundle)
+    require(len(bundle) >= 1, "bundle must contain at least one feature")
+    task, data = parties_from_dataset(dataset)
+    channel = channel if channel is not None else Channel()
+    if m0 is None:
+        m0 = isolated_performance(
+            dataset, base_model=base_model, model_params=model_params, seed=seed
+        )
+    rng = spawn(seed, dataset.name, base_model, "joint", bundle)
+    if base_model == "random_forest":
+        params = _merged(_RF_DEFAULTS, model_params)
+        forest = FederatedForest(
+            params["n_estimators"],
+            max_depth=params["max_depth"],
+            min_samples_leaf=params["min_samples_leaf"],
+            max_features=params["max_features"],
+            max_bins=params["max_bins"],
+            rng=rng,
+        )
+        forest.fit(task, data, bundle, channel)
+        m = forest.score(task.test_idx, task.y_test.astype(np.int64), channel)
+    else:
+        params = _merged(_MLP_DEFAULTS, model_params)
+        net = SplitNN(
+            task.d,
+            len(bundle),
+            embed_dim=params["embed_dim"],
+            top_hidden=params["top_hidden"],
+            epochs=params["epochs"],
+            batch_size=params["batch_size"],
+            lr=params["lr"],
+            rng=rng,
+        )
+        net.fit(task, data, bundle, channel)
+        m = net.score(task.test_idx, task.y_test.astype(np.int64), channel)
+    return VFLResult(
+        bundle=bundle,
+        base_model=base_model,
+        performance_isolated=float(m0),
+        performance_joint=float(m),
+        channel_stats=channel.stats(),
+    )

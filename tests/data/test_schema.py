@@ -1,0 +1,87 @@
+"""Tests for dataset schemas."""
+
+import pytest
+
+from repro.data import Column, ColumnKind, Schema
+
+
+def make_schema():
+    return Schema.of(
+        [
+            Column("age", ColumnKind.NUMERIC),
+            Column("sex", ColumnKind.BINARY, ("m", "f")),
+            Column("port", ColumnKind.CATEGORICAL, ("S", "C", "Q")),
+        ],
+        label="y",
+        name="demo",
+    )
+
+
+class TestColumn:
+    def test_numeric_encodes_to_one(self):
+        col = Column("age", ColumnKind.NUMERIC)
+        assert col.n_encoded == 1
+        assert col.encoded_names() == ["age"]
+
+    def test_categorical_encodes_per_category(self):
+        col = Column("port", ColumnKind.CATEGORICAL, ("S", "C", "Q"))
+        assert col.n_encoded == 3
+        assert col.encoded_names() == ["port=S", "port=C", "port=Q"]
+
+    def test_categorical_requires_two_categories(self):
+        with pytest.raises(ValueError, match=">= 2 categories"):
+            Column("bad", ColumnKind.CATEGORICAL, ("only",))
+
+    def test_categorical_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Column("bad", ColumnKind.CATEGORICAL, ("a", "a"))
+
+    def test_binary_state_count(self):
+        with pytest.raises(ValueError, match="exactly 2"):
+            Column("bad", ColumnKind.BINARY, ("a", "b", "c"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Column("", ColumnKind.NUMERIC)
+
+
+class TestSchema:
+    def test_counts(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert schema.n_raw_features == 3
+        assert schema.n_encoded_features == 5  # 1 + 1 + 3
+
+    def test_lookup(self):
+        schema = make_schema()
+        assert schema.column("sex").kind is ColumnKind.BINARY
+        assert "age" in schema
+        assert "missing" not in schema
+
+    def test_lookup_unknown_raises_keyerror_with_known_names(self):
+        with pytest.raises(KeyError, match="age"):
+            make_schema().column("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.of([Column("x", ColumnKind.NUMERIC)] * 2)
+
+    def test_label_cannot_be_feature(self):
+        with pytest.raises(ValueError, match="label"):
+            Schema.of([Column("y", ColumnKind.NUMERIC)], label="y")
+
+    def test_select_preserves_order_of_names(self):
+        sub = make_schema().select(["port", "age"])
+        assert sub.feature_names == ["port", "age"]
+
+    def test_encoded_names_order(self):
+        assert make_schema().encoded_names() == [
+            "age",
+            "sex",
+            "port=S",
+            "port=C",
+            "port=Q",
+        ]
+
+    def test_iteration(self):
+        assert [c.name for c in make_schema()] == ["age", "sex", "port"]

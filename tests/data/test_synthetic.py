@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators (Table 2 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_adult, load_credit, load_dataset, load_titanic
+from repro.data.synthetic.base import fit_intercept_for_rate, labels_from_score, sigmoid
+from repro.utils import spawn
+
+# Paper Table 2: (n, original total, task-party encoded, data-party encoded).
+PAPER_TABLE2 = {
+    "titanic": (891, 11, 10, 19),
+    "credit": (30_000, 25, 9, 21),
+    "adult": (48_842, 14, 52, 36),
+}
+
+
+class TestBaseHelpers:
+    def test_sigmoid_matches_closed_form(self):
+        z = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(sigmoid(z), 1 / (1 + np.exp(-z)), atol=1e-12)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = sigmoid(np.array([-800.0, 800.0]))
+        assert out[0] == 0.0 and out[1] == 1.0
+
+    def test_intercept_hits_target_rate(self):
+        rng = spawn(0, "t")
+        score = rng.normal(0, 2, 20_000)
+        b = fit_intercept_for_rate(score, 0.3)
+        assert sigmoid(score + b).mean() == pytest.approx(0.3, abs=1e-3)
+
+    def test_labels_match_rate(self):
+        rng = spawn(0, "labels")
+        score = rng.normal(0, 1.5, 50_000)
+        y = labels_from_score(rng, score, positive_rate=0.25)
+        assert y.mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_labels_correlate_with_score(self):
+        rng = spawn(0, "corr")
+        score = rng.normal(0, 2, 10_000)
+        y = labels_from_score(rng, score, positive_rate=0.4)
+        assert score[y == 1].mean() > score[y == 0].mean()
+
+
+@pytest.mark.parametrize("name", ["titanic", "credit", "adult"])
+class TestTable2Fidelity:
+    def test_feature_counts_match_paper(self, name):
+        n_paper, orig, d_task, d_data = PAPER_TABLE2[name]
+        ds = load_dataset(name, n_samples=600, seed=0).prepare(seed=0)
+        assert ds.summary()["original_features_total"] == orig
+        assert ds.d_task == d_task
+        assert ds.d_data == d_data
+
+    def test_default_row_count_matches_paper(self, name):
+        n_paper = PAPER_TABLE2[name][0]
+        loader = {"titanic": load_titanic, "credit": load_credit, "adult": load_adult}[
+            name
+        ]
+        # Only titanic is cheap enough to fully generate in unit tests,
+        # but the default argument itself must match the paper for all.
+        import inspect
+
+        default_n = inspect.signature(loader).parameters["n_samples"].default
+        assert default_n == n_paper
+
+    def test_generation_deterministic(self, name):
+        a = load_dataset(name, n_samples=300, seed=7)
+        b = load_dataset(name, n_samples=300, seed=7)
+        assert a.table == b.table
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, n_samples=300, seed=1)
+        b = load_dataset(name, n_samples=300, seed=2)
+        assert a.table != b.table
+
+
+class TestDatasetSemantics:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_titanic_positive_rate(self):
+        y = load_titanic(3000, seed=0).y
+        assert y.mean() == pytest.approx(0.384, abs=0.04)
+
+    def test_credit_positive_rate(self):
+        y = load_credit(5000, seed=0).y
+        assert y.mean() == pytest.approx(0.221, abs=0.04)
+
+    def test_adult_positive_rate(self):
+        y = load_adult(5000, seed=0).y
+        assert y.mean() == pytest.approx(0.239, abs=0.04)
+
+    def test_titanic_age_has_missing_values(self):
+        raw = load_titanic(seed=0)
+        assert np.isnan(np.asarray(raw.table["age"], dtype=float)).any()
+
+    def test_prepare_removes_missing(self):
+        ds = load_titanic(seed=0).prepare(seed=0)
+        assert np.all(np.isfinite(ds.X_task))
+        assert np.all(np.isfinite(ds.X_data))
+
+    def test_prepare_subsample(self):
+        ds = load_credit(2000, seed=0).prepare(seed=0, n_subsample=500)
+        assert ds.n_samples == 500
+
+    def test_data_party_features_carry_signal(self):
+        """Data-party features must add label signal beyond the task party's.
+
+        This is the premise of the whole market: a simple
+        class-conditional mean-difference check on a strong data-party
+        column suffices as a smoke test (model-based checks live in the
+        VFL integration tests).
+        """
+        raw = load_credit(8000, seed=0)
+        pay0 = np.asarray(raw.table["pay_0"], dtype=float)
+        assert pay0[raw.y == 1].mean() - pay0[raw.y == 0].mean() > 0.5
+
+    def test_adult_capital_gain_mostly_zero_heavy_tail(self):
+        raw = load_adult(8000, seed=0)
+        gain = np.asarray(raw.table["capital_gain"], dtype=float)
+        assert (gain == 0).mean() > 0.8
+        assert gain.max() > 10_000

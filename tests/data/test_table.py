@@ -1,0 +1,136 @@
+"""Tests for the immutable column-store Table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table
+
+
+def make_table():
+    return Table({"a": [1.0, 2.0, 3.0], "b": [10, 20, 30]})
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        t = make_table()
+        assert t.n_rows == 3
+        assert t.n_columns == 2
+        assert t.column_names == ["a", "b"]
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Table({})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_columns_are_readonly(self):
+        t = make_table()
+        with pytest.raises(ValueError):
+            t.column("a")[0] = 99.0
+
+    def test_source_mutation_does_not_leak(self):
+        src = np.array([1.0, 2.0])
+        t = Table({"a": src})
+        src[0] = 99.0
+        assert t.column("a")[0] == 1.0
+
+
+class TestAccess:
+    def test_getitem_and_column_agree(self):
+        t = make_table()
+        np.testing.assert_array_equal(t["a"], t.column("a"))
+
+    def test_missing_column_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="'a', 'b'|\\['a', 'b'\\]"):
+            make_table().column("zzz")
+
+    def test_contains(self):
+        assert "a" in make_table()
+        assert "z" not in make_table()
+
+
+class TestTransformations:
+    def test_select_order(self):
+        t = make_table().select(["b", "a"])
+        assert t.column_names == ["b", "a"]
+
+    def test_drop(self):
+        assert make_table().drop(["a"]).column_names == ["b"]
+
+    def test_with_column_appends(self):
+        t = make_table().with_column("c", [7, 8, 9])
+        assert t.column_names == ["a", "b", "c"]
+
+    def test_with_column_replaces(self):
+        t = make_table().with_column("a", [0.0, 0.0, 0.0])
+        assert t.column("a").sum() == 0.0
+
+    def test_rename(self):
+        t = make_table().rename({"a": "alpha"})
+        assert t.column_names == ["alpha", "b"]
+
+    def test_take_reorders(self):
+        t = make_table().take([2, 0])
+        np.testing.assert_array_equal(t["a"], [3.0, 1.0])
+
+    def test_hstack(self):
+        other = Table({"c": [5, 6, 7]})
+        t = make_table().hstack(other)
+        assert t.column_names == ["a", "b", "c"]
+
+    def test_hstack_collision_rejected(self):
+        with pytest.raises(ValueError, match="collision"):
+            make_table().hstack(Table({"a": [0, 0, 0]}))
+
+    def test_hstack_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row mismatch"):
+            make_table().hstack(Table({"c": [1]}))
+
+    def test_to_matrix(self):
+        m = make_table().to_matrix()
+        assert m.shape == (3, 2)
+        np.testing.assert_array_equal(m[:, 1], [10.0, 20.0, 30.0])
+
+    def test_head(self):
+        assert make_table().head(2).n_rows == 2
+        assert make_table().head(100).n_rows == 3
+
+
+class TestEqualityAndSummary:
+    def test_equality(self):
+        assert make_table() == make_table()
+        assert make_table() != make_table().rename({"a": "x"})
+
+    def test_equality_nan_aware(self):
+        a = Table({"v": [1.0, np.nan]})
+        b = Table({"v": [1.0, np.nan]})
+        assert a == b
+
+    def test_describe_missing_fraction(self):
+        t = Table({"v": [1.0, np.nan, 3.0, np.nan]})
+        assert t.describe()["v"]["missing"] == pytest.approx(0.5)
+
+    def test_repr_mentions_rows(self):
+        assert "3 rows" in repr(make_table())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_take_roundtrip_property(values):
+    """take(identity permutation) reproduces the table exactly."""
+    t = Table({"v": np.asarray(values, dtype=np.float64)})
+    assert t.take(np.arange(t.n_rows)) == t

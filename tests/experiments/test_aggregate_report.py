@@ -1,0 +1,140 @@
+"""Tests for aggregation statistics and plain-text rendering."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_chart,
+    density,
+    format_table,
+    mean_ci,
+    mean_std,
+    nan_mean_ci,
+    write_csv,
+)
+
+
+class TestMeanCI:
+    def test_point_estimate(self):
+        mean, half = mean_ci([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert half > 0
+
+    def test_single_value_no_interval(self):
+        assert mean_ci([3.0]) == (3.0, 0.0)
+
+    def test_confidence_widens_interval(self):
+        data = np.random.default_rng(0).normal(size=50)
+        _, hw95 = mean_ci(data, confidence=0.95)
+        _, hw99 = mean_ci(data, confidence=0.99)
+        assert hw99 > hw95
+
+    def test_coverage_approximately_nominal(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(300):
+            sample = rng.normal(0, 1, 30)
+            mean, half = mean_ci(sample)
+            hits += abs(mean) <= half
+        assert 0.87 <= hits / 300 <= 0.99
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 3.0])
+        assert m == 2.0
+        assert s == pytest.approx(np.std([1, 3], ddof=1))
+
+
+class TestNanMeanCI:
+    def test_ignores_terminated_runs(self):
+        matrix = np.array([[1.0, 2.0, np.nan], [3.0, 4.0, 5.0], [5.0, np.nan, np.nan]])
+        mean, half, alive = nan_mean_ci(matrix)
+        np.testing.assert_array_equal(alive, [3, 2, 1])
+        assert mean[0] == pytest.approx(3.0)
+        assert np.isnan(mean[2])  # below min_alive
+
+    def test_min_alive_threshold(self):
+        matrix = np.array([[1.0], [np.nan]])
+        mean, _, _ = nan_mean_ci(matrix, min_alive=1)
+        assert mean[0] == 1.0
+
+
+class TestDensity:
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        grid, values = density(rng.normal(size=400), n_grid=256)
+        area = np.trapezoid(values, grid)
+        assert area == pytest.approx(1.0, abs=0.06)
+
+    def test_peak_near_mode(self):
+        rng = np.random.default_rng(1)
+        grid, values = density(rng.normal(5.0, 0.2, 500))
+        assert abs(grid[np.argmax(values)] - 5.0) < 0.2
+
+    def test_degenerate_samples_fall_back(self):
+        grid, values = density([2.0, 2.0, 2.0])
+        assert values.max() == 1.0
+        assert abs(grid[np.argmax(values)] - 2.0) < 0.5
+
+    def test_custom_grid_respected(self):
+        grid_in = np.linspace(-1, 1, 16)
+        grid, _ = density([0.0, 0.1, -0.1, 0.2], grid_in)
+        np.testing.assert_array_equal(grid, grid_in)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_nan_rendered_as_dash(self):
+        assert "-" in format_table(["x"], [[float("nan")]]).splitlines()[-1]
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestAsciiChart:
+    def test_contains_series_glyphs_and_legend(self):
+        out = ascii_chart({"up": np.linspace(0, 1, 30), "down": np.linspace(1, 0, 30)})
+        assert "*" in out and "o" in out
+        assert "up" in out and "down" in out
+
+    def test_nan_segments_blank(self):
+        values = np.array([0.0, 1.0] + [np.nan] * 30)
+        out = ascii_chart({"s": values}, width=32)
+        # The right half of the chart should be blank for this series.
+        rows = out.splitlines()[2:-2]
+        right_halves = "".join(row[-10:] for row in rows)
+        assert "*" not in right_halves
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": np.array([np.nan, np.nan])})
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "data.csv")
+        write_csv(path, ["a", "b"], [np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        lines = open(path).read().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,3"
+
+    def test_ragged_columns_padded(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        write_csv(path, ["a", "b"], [[1, 2, 3], [9]])
+        lines = open(path).read().splitlines()
+        assert lines[2] == "2,"
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "x.csv"), ["a"], [[1], [2]])

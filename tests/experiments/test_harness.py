@@ -1,0 +1,108 @@
+"""Tests for the experiment harness (trace extraction + generators).
+
+Heavier generators (figures 2-4, tables 3-4) are exercised end-to-end
+by the benchmark suite; here we test the plumbing and the cheap
+generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1_series, round_matrix, scale, table2_rows
+from repro.experiments.config import _FULL, _QUICK
+from repro.market import (
+    BargainingEngine,
+    FeatureBundle,
+    MarketConfig,
+    PerformanceOracle,
+    ReservedPrice,
+    StrategicDataParty,
+    StrategicTaskParty,
+)
+from repro.utils import spawn
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert scale().quick
+
+    def test_full_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        tier = scale()
+        assert not tier.quick
+        assert tier.n_runs == 100  # the paper's repetition count
+
+    def test_full_exceeds_quick(self):
+        assert _FULL.n_runs > _QUICK.n_runs
+        assert _FULL.exploration_rounds >= _QUICK.exploration_rounds
+
+
+class TestRoundMatrix:
+    def outcomes(self):
+        bundles = [FeatureBundle.of(range(i + 1)) for i in range(6)]
+        gains = {b: 0.03 * (i + 1) for i, b in enumerate(bundles)}
+        reserved = {
+            b: ReservedPrice(rate=5.0 + 0.5 * i, base=0.8 + 0.05 * i)
+            for i, b in enumerate(bundles)
+        }
+        config = MarketConfig(
+            utility_rate=300.0, budget=4.0, initial_rate=5.2, initial_base=0.85,
+            target_gain=0.18, eps_d=1e-3, eps_t=1e-3, n_price_samples=48,
+        )
+        oracle = PerformanceOracle.from_gains(gains)
+        outs = []
+        for seed in range(4):
+            engine = BargainingEngine(
+                StrategicTaskParty(config, list(gains.values()), rng=spawn(seed, "t")),
+                StrategicDataParty(gains, reserved, config),
+                oracle,
+                utility_rate=config.utility_rate,
+                max_rounds=200,
+            )
+            outs.append(engine.run())
+        return outs
+
+    def test_shape_and_padding(self):
+        outs = self.outcomes()
+        matrix = round_matrix(outs, "net_profit", max_round=100)
+        assert matrix.shape == (4, 100)
+        for i, o in enumerate(outs):
+            if o.accepted:
+                # Padded with the final value after termination.
+                assert matrix[i, -1] == pytest.approx(o.history[-1].net_profit)
+
+    def test_delta_g_nonnegative_trail(self):
+        outs = self.outcomes()
+        matrix = round_matrix(outs, "delta_g", max_round=50)
+        finite = matrix[np.isfinite(matrix)]
+        assert finite.size > 0
+        assert finite.min() >= 0.0
+
+    def test_default_max_round(self):
+        outs = self.outcomes()
+        matrix = round_matrix(outs, "payment")
+        assert matrix.shape[1] == max(o.n_rounds for o in outs)
+
+
+class TestFigure1:
+    def test_series_shapes(self):
+        series = figure1_series()
+        assert series["delta_g"].shape == series["payment"].shape
+        assert series["payment"].min() >= 1.0 - 1e-12
+        assert series["payment"].max() <= 3.0 + 1e-12
+
+    def test_profit_crosses_zero_at_break_even(self):
+        series = figure1_series()
+        be = float(series["break_even"][0])
+        profit_at_be = np.interp(be, series["delta_g"], series["net_profit"])
+        assert abs(profit_at_be) < 0.05
+
+
+class TestTable2:
+    def test_matches_paper_counts(self):
+        headers, rows = table2_rows()
+        by_name = {r[0]: r[1:] for r in rows}
+        assert by_name["Titanic"] == [891, 11, 10, 19]
+        assert by_name["Credit"] == [30_000, 25, 9, 21]
+        assert by_name["Adult"] == [48_842, 14, 52, 36]

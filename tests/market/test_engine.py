@@ -1,0 +1,173 @@
+"""Tests for the bargaining engine over synthetic oracles."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    BargainingEngine,
+    FeatureBundle,
+    LinearCost,
+    MarketConfig,
+    PerformanceOracle,
+    ReservedPrice,
+    StrategicDataParty,
+    StrategicTaskParty,
+)
+from repro.market.strategies.baselines import RandomBundleDataParty
+from repro.utils import spawn
+
+
+def ladder_market(n_bundles=10, top_gain=0.2, seed=0):
+    """A quality ladder: gains and reserved prices rise together."""
+    rng = np.random.default_rng(seed)
+    bundles = [FeatureBundle.of(range(i + 1)) for i in range(n_bundles)]
+    gains = {}
+    reserved = {}
+    for i, b in enumerate(bundles):
+        quality = (i + 1) / n_bundles
+        gains[b] = top_gain * quality
+        reserved[b] = ReservedPrice(
+            rate=5.0 + 4.0 * quality + rng.uniform(0, 0.1),
+            base=0.8 + 0.6 * quality + rng.uniform(0, 0.02),
+        )
+    config = MarketConfig(
+        utility_rate=500.0,
+        budget=6.0,
+        initial_rate=5.6,
+        initial_base=0.95,
+        target_gain=top_gain,
+        eps_d=1e-3,
+        eps_t=1e-3,
+        n_price_samples=64,
+        max_rounds=400,
+    )
+    return bundles, gains, reserved, config
+
+
+def build_engine(seed=0, data_cls=StrategicDataParty, **engine_kw):
+    bundles, gains, reserved, config = ladder_market(seed=0)
+    oracle = PerformanceOracle.from_gains(gains)
+    task = StrategicTaskParty(config, list(gains.values()), rng=spawn(seed, "t"))
+    if data_cls is StrategicDataParty:
+        data = StrategicDataParty(gains, reserved, config)
+    else:
+        data = data_cls(gains, reserved, config, rng=spawn(seed, "d"))
+    return BargainingEngine(
+        task,
+        data,
+        oracle,
+        utility_rate=config.utility_rate,
+        reserved_prices=reserved,
+        max_rounds=config.max_rounds,
+        **engine_kw,
+    )
+
+
+class TestEngineConvergence:
+    def test_strategic_reaches_the_top_of_the_ladder(self):
+        outcome = build_engine(seed=3).run()
+        assert outcome.accepted
+        assert outcome.delta_g == pytest.approx(0.2)
+        assert outcome.net_profit == pytest.approx(
+            500.0 * 0.2 - outcome.payment
+        )
+
+    def test_final_quote_near_reserved_price(self):
+        outcome = build_engine(seed=1).run()
+        assert outcome.reserved_of_bundle is not None
+        assert outcome.quote.rate >= outcome.reserved_of_bundle.rate - 1e-9
+        assert outcome.quote.base >= outcome.reserved_of_bundle.base - 1e-9
+        # Equilibrium targeting keeps the final rate close to the floor.
+        assert outcome.quote.rate - outcome.reserved_of_bundle.rate < 3.0
+
+    def test_payment_equals_cap_at_equilibrium(self):
+        outcome = build_engine(seed=2).run()
+        assert outcome.payment == pytest.approx(outcome.quote.cap, abs=1e-2)
+
+    def test_history_rounds_are_consecutive(self):
+        outcome = build_engine(seed=0).run()
+        rounds = [r.round_number for r in outcome.history]
+        assert rounds == list(range(1, len(rounds) + 1))
+
+    def test_realized_gain_is_monotone_ish(self):
+        """The offered gain ratchets up as prices escalate."""
+        outcome = build_engine(seed=5).run()
+        gains = [r.delta_g for r in outcome.history if np.isfinite(r.delta_g)]
+        assert gains[-1] >= gains[0]
+
+    def test_deterministic_given_seed(self):
+        a = build_engine(seed=9).run()
+        b = build_engine(seed=9).run()
+        assert a.n_rounds == b.n_rounds
+        assert a.payment == b.payment
+
+    def test_max_rounds_failure(self):
+        bundles, gains, reserved, config = ladder_market()
+        # Unreachable target: nothing yields 0.5.
+        config = config.with_overrides(target_gain=0.5, max_rounds=30, budget=20.0)
+        oracle = PerformanceOracle.from_gains(gains)
+        task = StrategicTaskParty(config, list(gains.values()), rng=spawn(0, "t"))
+        data = StrategicDataParty(gains, reserved, config)
+        outcome = BargainingEngine(
+            task, data, oracle, utility_rate=config.utility_rate, max_rounds=30
+        ).run()
+        assert outcome.status == "max_rounds"
+        assert not outcome.accepted
+
+    def test_data_party_fail_on_unaffordable_market(self):
+        bundles, gains, reserved, config = ladder_market()
+        expensive = {b: ReservedPrice(rate=50.0, base=10.0) for b in bundles}
+        oracle = PerformanceOracle.from_gains(gains)
+        task = StrategicTaskParty(config, list(gains.values()), rng=spawn(0, "t"))
+        data = StrategicDataParty(gains, expensive, config)
+        outcome = BargainingEngine(
+            task, data, oracle, utility_rate=config.utility_rate
+        ).run()
+        assert outcome.status == "failed"
+        assert outcome.terminated_by == "data_party"
+        assert outcome.n_rounds == 1
+
+    def test_costs_accumulate_in_outcome(self):
+        outcome = build_engine(
+            seed=0, cost_task=LinearCost(0.01), cost_data=LinearCost(0.02)
+        ).run()
+        assert outcome.cost_task == pytest.approx(0.01 * outcome.n_rounds)
+        assert outcome.cost_data == pytest.approx(0.02 * outcome.n_rounds)
+        assert outcome.net_profit_after_cost < outcome.net_profit
+        assert outcome.payment_after_cost < outcome.payment
+
+    def test_random_bundle_fails_on_junk_offers(self):
+        """A below-break-even bundle in the catalogue kills random sellers."""
+        bundles, gains, reserved, config = ladder_market()
+        junk = FeatureBundle.of([99])
+        gains = {**gains, junk: 0.0005}  # below break-even ~0.0019
+        reserved = {**reserved, junk: ReservedPrice(rate=5.0, base=0.8)}
+        oracle = PerformanceOracle.from_gains(gains)
+        failures = 0
+        for seed in range(10):
+            task = StrategicTaskParty(
+                config, list(gains.values()), rng=spawn(seed, "t")
+            )
+            data = RandomBundleDataParty(gains, reserved, config, rng=spawn(seed, "d"))
+            outcome = BargainingEngine(
+                task, data, oracle,
+                utility_rate=config.utility_rate, max_rounds=config.max_rounds,
+            ).run()
+            if not outcome.accepted:
+                failures += 1
+        assert failures >= 5
+
+    def test_cost_aware_strategies_settle_earlier(self):
+        bundles, gains, reserved, config = ladder_market()
+        oracle = PerformanceOracle.from_gains(gains)
+        heavy = LinearCost(0.5)
+        task = StrategicTaskParty(
+            config, list(gains.values()), cost_model=heavy, rng=spawn(4, "t")
+        )
+        data = StrategicDataParty(gains, reserved, config, cost_model=heavy)
+        with_cost = BargainingEngine(
+            task, data, oracle,
+            utility_rate=config.utility_rate, cost_task=heavy, cost_data=heavy,
+        ).run()
+        without = build_engine(seed=4).run()
+        assert with_cost.n_rounds <= without.n_rounds

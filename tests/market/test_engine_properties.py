@@ -1,0 +1,128 @@
+"""Property-based tests: engine invariants over randomised markets.
+
+Hypothesis generates random gain ladders, reserved-price schedules and
+market constants; the invariants below must hold for *every* game the
+engine can play.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.market import (
+    BargainingEngine,
+    FeatureBundle,
+    MarketConfig,
+    PerformanceOracle,
+    ReservedPrice,
+    StrategicDataParty,
+    StrategicTaskParty,
+)
+from repro.utils import spawn
+
+market_params = st.fixed_dictionaries(
+    {
+        "n_bundles": st.integers(min_value=2, max_value=12),
+        "top_gain": st.floats(min_value=0.02, max_value=0.5),
+        "utility_rate": st.floats(min_value=50.0, max_value=2000.0),
+        "rate_floor": st.floats(min_value=1.0, max_value=8.0),
+        "rate_span": st.floats(min_value=0.0, max_value=6.0),
+        "base_floor": st.floats(min_value=0.1, max_value=1.5),
+        "base_span": st.floats(min_value=0.0, max_value=1.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def build_game(params):
+    n = params["n_bundles"]
+    bundles = [FeatureBundle.of(range(i + 1)) for i in range(n)]
+    gains, reserved = {}, {}
+    for i, b in enumerate(bundles):
+        q = (i + 1) / n
+        gains[b] = params["top_gain"] * q
+        reserved[b] = ReservedPrice(
+            rate=params["rate_floor"] + params["rate_span"] * q,
+            base=params["base_floor"] + params["base_span"] * q,
+        )
+    initial_rate = max(params["rate_floor"] * 1.05, 0.5)
+    utility = max(params["utility_rate"], initial_rate * 3)
+    initial_base = params["base_floor"] * 1.05
+    budget = (initial_base + initial_rate * params["top_gain"]) * 3.0
+    config = MarketConfig(
+        utility_rate=utility,
+        budget=budget,
+        initial_rate=initial_rate,
+        initial_base=initial_base,
+        target_gain=params["top_gain"],
+        eps_d=1e-3,
+        eps_t=1e-3,
+        n_price_samples=32,
+        max_rounds=200,
+    )
+    oracle = PerformanceOracle.from_gains(gains)
+    engine = BargainingEngine(
+        StrategicTaskParty(config, list(gains.values()), rng=spawn(params["seed"], "t")),
+        StrategicDataParty(gains, reserved, config),
+        oracle,
+        utility_rate=config.utility_rate,
+        reserved_prices=reserved,
+        max_rounds=config.max_rounds,
+    )
+    return engine, config, gains, reserved
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=market_params)
+def test_engine_invariants_hold_for_any_market(params):
+    engine, config, gains, reserved = build_game(params)
+    outcome = engine.run()
+
+    # 1. The game always terminates within the round cap.
+    assert 1 <= outcome.n_rounds <= config.max_rounds
+    assert outcome.status in ("accepted", "failed", "max_rounds")
+
+    # 2. Round numbering is consecutive from 1.
+    rounds = [r.round_number for r in outcome.history]
+    assert rounds == list(range(1, len(rounds) + 1))
+
+    for record in outcome.history:
+        if record.bundle is None:
+            continue
+        # 3. Payments always respect the quote's bounds (Def. 2.3).
+        assert record.quote.base - 1e-9 <= record.payment <= record.quote.cap + 1e-9
+        # 4. Net profit satisfies the Eq. 3 identity.
+        assert record.net_profit == pytest.approx(
+            config.utility_rate * record.delta_g - record.payment
+        )
+        # 5. Every offered bundle was affordable under the round's quote.
+        assert reserved[record.bundle].satisfied_by(record.quote)
+        # 6. Every quote keeps the Eq. 5 equilibrium structure.
+        assert record.quote.turning_point == pytest.approx(
+            config.target_gain, rel=1e-9, abs=1e-9
+        )
+
+    if outcome.accepted:
+        # 7. Accepted deals transact a real bundle at its oracle gain.
+        assert outcome.bundle in gains
+        assert outcome.delta_g == pytest.approx(gains[outcome.bundle])
+        # 8. The buyer never pays above budget.
+        assert outcome.payment <= config.budget + 1e-9
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=market_params)
+def test_strategic_seller_never_triggers_case4(params):
+    """A strategic seller cannot be walked away from via Case 4.
+
+    The regression rule only fires when the current quote dominates the
+    quote of an earlier better offer; under a dominating quote the
+    strategic seller's affordable set contains everything it contained
+    before, so its deterministic Eq. 4 selection cannot offer less.
+    Hence task-party failures are impossible against a strategic seller
+    — for ANY market the generator produces.
+    """
+    engine, config, gains, _ = build_game(params)
+    outcome = engine.run()
+    assert not (outcome.status == "failed" and outcome.terminated_by == "task_party")

@@ -1,0 +1,101 @@
+"""Tests for the online ΔG estimators (f and g, §3.5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    DataGainEstimator,
+    FeatureBundle,
+    QuotedPrice,
+    TaskGainEstimator,
+)
+from repro.utils import spawn
+
+
+def synthetic_price_gain(rng, n=120):
+    """ΔG grows with the turning point, saturating at 0.2."""
+    quotes, gains = [], []
+    for _ in range(n):
+        rate = rng.uniform(5, 12)
+        base = rng.uniform(0.8, 1.5)
+        cap = base + rate * rng.uniform(0.01, 0.25)
+        q = QuotedPrice(rate, base, cap)
+        quotes.append(q)
+        gains.append(min(q.turning_point, 0.2) * 0.9 + rng.normal(0, 0.005))
+    return quotes, np.asarray(gains)
+
+
+class TestTaskGainEstimator:
+    def test_learns_price_to_gain_map(self):
+        rng = spawn(0, "f")
+        est = TaskGainEstimator(rng=rng, train_passes=6)
+        quotes, gains = synthetic_price_gain(rng)
+        for q, g in zip(quotes, gains):
+            est.observe(q, g)
+        assert est.mse_history[-1] < est.mse_history[2]
+        assert est.mse_history[-1] < 0.003
+
+    def test_prediction_tracks_turning_point(self):
+        rng = spawn(1, "f")
+        est = TaskGainEstimator(rng=rng, train_passes=6)
+        quotes, gains = synthetic_price_gain(rng, n=150)
+        for q, g in zip(quotes, gains):
+            est.observe(q, g)
+        low = QuotedPrice(8.0, 1.0, 1.0 + 8.0 * 0.05)
+        high = QuotedPrice(8.0, 1.0, 1.0 + 8.0 * 0.18)
+        pred_low, pred_high = est.predict([low, high])
+        assert pred_high > pred_low
+
+    def test_predicts_zeros_before_data(self):
+        est = TaskGainEstimator(rng=spawn(2, "f"))
+        np.testing.assert_array_equal(
+            est.predict([QuotedPrice(8.0, 1.0, 2.0)]), [0.0]
+        )
+
+    def test_observation_count(self):
+        est = TaskGainEstimator(rng=spawn(3, "f"))
+        est.observe(QuotedPrice(8.0, 1.0, 2.0), 0.1)
+        assert est.n_observations == 1
+
+    def test_empty_predict_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGainEstimator(rng=spawn(0, "f")).predict([])
+
+
+class TestDataGainEstimator:
+    def item_values(self, n_features=10, seed=0):
+        rng = spawn(seed, "vals")
+        return rng.uniform(0.0, 0.04, n_features)
+
+    def test_learns_bundle_values(self):
+        values = self.item_values()
+        rng = spawn(0, "g")
+        est = DataGainEstimator(10, rng=rng, train_passes=6)
+        for _ in range(200):
+            size = int(rng.integers(1, 6))
+            bundle = FeatureBundle.of(rng.choice(10, size=size, replace=False))
+            est.observe(bundle, float(values[list(bundle)].sum()))
+        assert est.mse_history[-1] < est.mse_history[2]
+
+    def test_ranks_strong_bundles_higher(self):
+        values = self.item_values()
+        rng = spawn(1, "g")
+        est = DataGainEstimator(10, rng=rng, train_passes=6)
+        for _ in range(250):
+            size = int(rng.integers(1, 6))
+            bundle = FeatureBundle.of(rng.choice(10, size=size, replace=False))
+            est.observe(bundle, float(values[list(bundle)].sum()))
+        weak = FeatureBundle.of([int(np.argmin(values))])
+        strong = FeatureBundle.of(list(np.argsort(values)[-3:]))
+        pred_weak, pred_strong = est.predict([weak, strong])
+        assert pred_strong > pred_weak
+
+    def test_predicts_zeros_before_data(self):
+        est = DataGainEstimator(5, rng=spawn(2, "g"))
+        np.testing.assert_array_equal(est.predict([FeatureBundle.of([0])]), [0.0])
+
+    def test_mse_history_tracks_observations(self):
+        est = DataGainEstimator(5, rng=spawn(3, "g"))
+        for i in range(4):
+            est.observe(FeatureBundle.of([i]), 0.01 * i)
+        assert len(est.mse_history) == 4

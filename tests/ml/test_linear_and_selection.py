@@ -1,0 +1,73 @@
+"""Tests for logistic regression and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KFold, LogisticRegression, cross_val_score
+
+
+def separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = rng.normal(0, 0.5, size=(n, 2))
+    X[:, 0] += 3.0 * y
+    return X, y.astype(float)
+
+
+class TestLogisticRegression:
+    def test_fits_separable(self):
+        X, y = separable()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y.astype(int)) > 0.97
+
+    def test_proba_bounds_and_monotonicity(self):
+        X, y = separable()
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert p.min() >= 0 and p.max() <= 1
+        # Larger x0 -> larger probability (positive weight learned).
+        grid = np.column_stack([np.linspace(-2, 5, 20), np.zeros(20)])
+        assert np.all(np.diff(model.predict_proba(grid)) >= 0)
+
+    def test_l2_shrinks_weights(self):
+        X, y = separable()
+        loose = LogisticRegression(l2=0.0).fit(X, y)
+        tight = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_unfit_predict_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(np.zeros((3, 1)), [0.0, 0.5, 1.0])
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = list(KFold(4, rng=0).split(22))
+        all_test = np.sort(np.concatenate([te for _, te in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(22))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(3, rng=1).split(30):
+            assert not set(train) & set(test)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(KFold(5, rng=0).split(3))
+
+    def test_n_splits_validated(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValScore:
+    def test_scores_high_on_separable(self):
+        X, y = separable(150)
+        scores = cross_val_score(
+            lambda: LogisticRegression(), X, y, n_splits=3, rng=0
+        )
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.9

@@ -1,0 +1,86 @@
+"""Tests for classification/regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision,
+    recall,
+    roc_auc,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 0, 1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            accuracy([0, 1], [0])
+
+
+class TestConfusionDerived:
+    def test_confusion_matrix_layout(self):
+        cm = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 2]])
+
+    def test_precision_recall_f1(self):
+        y_true = [0, 0, 1, 1, 1]
+        y_pred = [0, 1, 1, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_zero_division_guards(self):
+        assert precision([1, 1], [0, 0]) == 0.0
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            confusion_matrix([0, 2], [0, 1])
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        s = rng.random(4000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        # All scores identical -> AUC is exactly 0.5.
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc([1, 1], [0.2, 0.4])
+
+
+class TestLossMetrics:
+    def test_log_loss_confident_correct(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.02
+
+    def test_log_loss_clips_extremes(self):
+        assert np.isfinite(log_loss([1], [0.0]))
+
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)

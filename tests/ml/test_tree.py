@@ -1,0 +1,154 @@
+"""Tests for the histogram CART tree, including a brute-force oracle check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import DecisionTreeClassifier, quantile_bin
+
+
+def blobs(n=200, seed=0, noise=0.6):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = rng.normal(0, noise, size=(n, 3))
+    X[:, 0] += 2.0 * y
+    return X, y.astype(float)
+
+
+class TestQuantileBin:
+    def test_indicator_features_bin_exactly(self):
+        X = np.array([[0.0], [1.0], [0.0], [1.0]])
+        design = quantile_bin(X)
+        assert design.edges[0].shape == (1,)
+        np.testing.assert_array_equal(design.codes[:, 0], [0, 1, 0, 1])
+
+    def test_codes_within_bins(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 4))
+        design = quantile_bin(X, max_bins=16)
+        assert design.codes.max() < 16
+
+    def test_monotone_in_value(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        design = quantile_bin(X, max_bins=8)
+        assert np.all(np.diff(design.codes[:, 0].astype(int)) >= 0)
+
+    def test_max_bins_bounds(self):
+        with pytest.raises(ValueError):
+            quantile_bin(np.zeros((3, 1)), max_bins=1)
+        with pytest.raises(ValueError):
+            quantile_bin(np.zeros((3, 1)), max_bins=500)
+
+
+class TestDecisionTree:
+    def test_separable_data_fits_perfectly(self):
+        X, y = blobs(noise=0.1)
+        tree = DecisionTreeClassifier(max_depth=3, rng=0).fit(X, y)
+        assert tree.score(X, y.astype(int)) == 1.0
+
+    def test_max_depth_respected(self):
+        X, y = blobs(400, noise=1.5)
+        tree = DecisionTreeClassifier(max_depth=2, rng=0).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = blobs(100)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=20, rng=0).fit(X, y)
+        # Count rows per leaf by prediction path.
+        proba = tree.predict_proba(X)
+        # Every leaf must have >= 20 training rows, so each distinct
+        # leaf probability accounts for >= 20 predictions.
+        _, counts = np.unique(proba, return_counts=True)
+        assert counts.min() >= 20
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier(max_depth=10, rng=0).fit(X, y)
+        assert tree.n_nodes_ == 3  # root + two pure leaves
+
+    def test_nonbinary_labels_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            DecisionTreeClassifier(rng=0).fit(np.zeros((4, 1)), np.array([0, 1, 2, 1]))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            DecisionTreeClassifier(rng=0).predict(np.zeros((1, 1)))
+
+    def test_constant_labels_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        tree = DecisionTreeClassifier(rng=0).fit(X, np.zeros(30))
+        assert tree.n_nodes_ == 1
+        assert np.all(tree.predict(X) == 0)
+
+    def test_deterministic_given_rng(self):
+        X, y = blobs(300, noise=1.0)
+        t1 = DecisionTreeClassifier(max_depth=5, max_features=2, rng=3).fit(X, y)
+        t2 = DecisionTreeClassifier(max_depth=5, max_features=2, rng=3).fit(X, y)
+        np.testing.assert_array_equal(t1.predict_proba(X), t2.predict_proba(X))
+
+    def test_probabilities_are_leaf_means(self):
+        X, y = blobs(200, noise=1.2)
+        tree = DecisionTreeClassifier(max_depth=3, rng=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+
+def brute_force_stump_impurity(X, y):
+    """Exhaustive weighted-gini search over all midpoint thresholds."""
+    n = len(y)
+    best = np.inf
+    for j in range(X.shape[1]):
+        values = np.unique(X[:, j])
+        for threshold in (values[:-1] + values[1:]) / 2:
+            left = X[:, j] <= threshold
+            nl, nr = left.sum(), n - left.sum()
+            if nl == 0 or nr == 0:
+                continue
+            pl = y[left].mean()
+            pr = y[~left].mean()
+            imp = nl * 2 * pl * (1 - pl) + nr * 2 * pr * (1 - pr)
+            best = min(best, imp)
+    return best
+
+
+def stump_impurity(tree, X, y):
+    left = X[:, tree.feature_[0]] <= tree.threshold_[0]
+    nl, nr = left.sum(), len(y) - left.sum()
+    pl = y[left].mean()
+    pr = y[~left].mean()
+    return nl * 2 * pl * (1 - pl) + nr * 2 * pr * (1 - pr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=1),
+        ),
+        min_size=8,
+        max_size=60,
+    )
+)
+def test_stump_matches_brute_force_oracle(data):
+    """Depth-1 tree finds the globally gini-optimal split (property test).
+
+    With few distinct values, quantile binning is exact, so the
+    histogram split search must match exhaustive enumeration.
+    """
+    X = np.array([[a, b] for a, b, _ in data], dtype=float)
+    y = np.array([c for _, _, c in data], dtype=float)
+    if y.min() == y.max():
+        return  # pure data: nothing to split
+    tree = DecisionTreeClassifier(max_depth=1, max_bins=64, rng=0).fit(X, y)
+    oracle = brute_force_stump_impurity(X, y)
+    if tree.feature_[0] == -1:
+        # Tree declined to split: only legal if no split improves purity.
+        parent = len(y) * 2 * y.mean() * (1 - y.mean())
+        assert oracle >= parent - 1e-9
+    else:
+        achieved = stump_impurity(tree, X, y)
+        assert achieved == pytest.approx(oracle, abs=1e-9)

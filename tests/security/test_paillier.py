@@ -1,0 +1,114 @@
+"""Tests for the Paillier implementation (homomorphism properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import generate_keypair, is_probable_prime
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, rng=0)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 101, 7919):
+            assert is_probable_prime(p, rng=0)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 561, 7917):  # 561 is a Carmichael number
+            assert not is_probable_prime(c, rng=0)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1, rng=0)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1), rng=0)
+
+
+class TestKeygen:
+    def test_key_sizes(self, keypair):
+        pub, _ = keypair
+        assert pub.n.bit_length() >= 250
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match=">= 64"):
+            generate_keypair(bits=32)
+
+    def test_deterministic_given_rng(self):
+        a, _ = generate_keypair(bits=128, rng=5)
+        b, _ = generate_keypair(bits=128, rng=5)
+        assert a.n == b.n
+
+
+class TestEncryption:
+    def test_int_roundtrip(self, keypair):
+        pub, priv = keypair
+        assert priv.decrypt(pub.encrypt(42, rng=1)) == 42
+        assert priv.decrypt(pub.encrypt(-17, rng=2)) == -17
+
+    def test_float_roundtrip(self, keypair):
+        pub, priv = keypair
+        assert priv.decrypt(pub.encrypt(0.1537, rng=1)) == pytest.approx(0.1537, abs=1e-8)
+        assert priv.decrypt(pub.encrypt(-0.02, rng=2)) == pytest.approx(-0.02, abs=1e-8)
+
+    def test_semantic_security_fresh_randomness(self, keypair):
+        pub, _ = keypair
+        a = pub.encrypt(5, rng=spawn(1, "a"))
+        b = pub.encrypt(5, rng=spawn(2, "b"))
+        assert a.ciphertext != b.ciphertext
+
+    def test_capacity_guard(self, keypair):
+        pub, _ = keypair
+        with pytest.raises(ValueError, match="capacity"):
+            pub.encrypt(pub.n)
+
+    def test_cross_key_operations_rejected(self, keypair):
+        pub, priv = keypair
+        other_pub, _ = generate_keypair(bits=128, rng=9)
+        with pytest.raises(ValueError, match="different keys"):
+            pub.encrypt(1, rng=0) + other_pub.encrypt(1, rng=0)
+        with pytest.raises(ValueError, match="match"):
+            priv.decrypt(other_pub.encrypt(1, rng=0))
+
+
+class TestHomomorphism:
+    def test_addition(self, keypair):
+        pub, priv = keypair
+        enc = pub.encrypt(0.25, rng=1) + pub.encrypt(0.5, rng=2)
+        assert priv.decrypt(enc) == pytest.approx(0.75, abs=1e-8)
+
+    def test_plaintext_addition(self, keypair):
+        pub, priv = keypair
+        assert priv.decrypt(pub.encrypt(0.25, rng=1) + 1.0) == pytest.approx(1.25, abs=1e-8)
+        assert priv.decrypt(2.0 + pub.encrypt(0.25, rng=1)) == pytest.approx(2.25, abs=1e-8)
+
+    def test_scalar_multiplication(self, keypair):
+        pub, priv = keypair
+        assert priv.decrypt(pub.encrypt(0.2, rng=1) * 3) == pytest.approx(0.6, abs=1e-7)
+        assert priv.decrypt(0.5 * pub.encrypt(0.2, rng=1)) == pytest.approx(0.1, abs=1e-7)
+
+    def test_subtraction(self, keypair):
+        pub, priv = keypair
+        enc = pub.encrypt(0.7, rng=1) - pub.encrypt(0.2, rng=2)
+        assert priv.decrypt(enc) == pytest.approx(0.5, abs=1e-8)
+        assert priv.decrypt(1.0 - pub.encrypt(0.2, rng=1)) == pytest.approx(0.8, abs=1e-8)
+
+    def test_ciphertext_product_rejected(self, keypair):
+        pub, _ = keypair
+        with pytest.raises(ValueError, match="ciphertext-plaintext"):
+            pub.encrypt(2, rng=1) * pub.encrypt(3, rng=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.floats(min_value=-5, max_value=5),
+        b=st.floats(min_value=-5, max_value=5),
+        k=st.integers(min_value=-20, max_value=20),
+    )
+    def test_affine_identity_property(self, a, b, k):
+        pub, priv = generate_keypair(bits=128, rng=3)
+        enc = pub.encrypt(a, rng=1) * k + pub.encrypt(b, rng=2)
+        assert priv.decrypt(enc) == pytest.approx(a * k + b, abs=1e-6)

@@ -1,0 +1,124 @@
+"""Tests for blinded comparison, secure payment, and the leakage attack."""
+
+import numpy as np
+import pytest
+
+from repro.market import FeatureBundle, QuotedPrice
+from repro.security import (
+    attack_advantage,
+    encrypted_gain,
+    generate_keypair,
+    marginal_value_attack,
+    rank_correlation,
+    secure_payment,
+    secure_threshold_check,
+)
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, rng=0)
+
+
+class TestSecureThresholdCheck:
+    def test_correct_above(self, keypair):
+        pub, priv = keypair
+        enc = encrypted_gain(0.15, pub, rng=1)
+        assert secure_threshold_check(enc, 0.1, priv, rng=2).result
+
+    def test_correct_below(self, keypair):
+        pub, priv = keypair
+        enc = encrypted_gain(0.05, pub, rng=1)
+        assert not secure_threshold_check(enc, 0.1, priv, rng=2).result
+
+    def test_blinding_hides_magnitude(self, keypair):
+        """Two different gains produce overlapping blinded outputs."""
+        pub, priv = keypair
+        outs_a = [
+            secure_threshold_check(
+                encrypted_gain(0.12, pub, rng=i), 0.1, priv, rng=spawn(i, "s")
+            ).blinded_value
+            for i in range(30)
+        ]
+        outs_b = [
+            secure_threshold_check(
+                encrypted_gain(0.4, pub, rng=i), 0.1, priv, rng=spawn(i, "t")
+            ).blinded_value
+            for i in range(30)
+        ]
+        # The ranges overlap: magnitude alone cannot identify the gain.
+        assert max(outs_a) > min(outs_b)
+
+    def test_boundary(self, keypair):
+        pub, priv = keypair
+        enc = encrypted_gain(0.1, pub, rng=1)
+        assert secure_threshold_check(enc, 0.1, priv, rng=2).result
+
+
+class TestSecurePayment:
+    def quote(self):
+        return QuotedPrice(rate=10.0, base=1.0, cap=3.0)  # TP = 0.2
+
+    @pytest.mark.parametrize("gain", [-0.5, 0.0, 0.05, 0.15, 0.2, 0.5])
+    def test_matches_plaintext_payment(self, keypair, gain):
+        pub, priv = keypair
+        enc = encrypted_gain(gain, pub, rng=3)
+        pay = secure_payment(enc, self.quote(), priv, rng=4)
+        assert pay == pytest.approx(self.quote().payment(gain), abs=1e-6)
+
+
+class TestLeakageAttack:
+    def transcript(self, values, n_obs=120, seed=0):
+        rng = spawn(seed, "attack")
+        obs = []
+        max_size = min(5, len(values))
+        for _ in range(n_obs):
+            size = int(rng.integers(1, max_size + 1))
+            bundle = FeatureBundle.of(rng.choice(len(values), size=size, replace=False))
+            gain = float(np.sum(values[list(bundle)])) + float(rng.normal(0, 0.002))
+            obs.append((bundle, gain))
+        return obs
+
+    def test_plaintext_transcript_leaks_feature_values(self):
+        values = np.array([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.0, 0.02])
+        obs = self.transcript(values)
+        advantage = attack_advantage(obs, values)
+        assert advantage > 0.8  # near-total recovery of the ordering
+
+    def test_blinded_transcript_degrades_attack(self):
+        """With the §3.6 mitigation, only blinded signs leak.
+
+        One sign bit per round still carries *ordinal* information over
+        a long transcript (an inherent property of any comparison
+        protocol), but quantitative recovery collapses: the regressed
+        marginal values are uniform-noise-scaled and useless as value
+        estimates, unlike the near-exact plaintext recovery.
+        """
+        values = np.array([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.0, 0.02])
+        rng = spawn(1, "blind")
+        obs = self.transcript(values, seed=1)
+        blinded = [
+            (b, float(np.sign(g - 0.05) * rng.uniform(1, 1000))) for b, g in obs
+        ]
+        recovered = marginal_value_attack(blinded, len(values))
+        # Quantitative estimates are off by orders of magnitude...
+        assert np.abs(recovered - values).max() > 10.0
+        # ...whereas the plaintext transcript recovers them to ~1e-3.
+        plain = marginal_value_attack(obs, len(values))
+        assert np.abs(plain - values).max() < 5e-3
+
+    def test_marginal_values_recovered_quantitatively(self):
+        values = np.array([0.01, 0.02, 0.03, 0.04])
+        obs = self.transcript(values, n_obs=200, seed=2)
+        recovered = marginal_value_attack(obs, 4)
+        np.testing.assert_allclose(recovered, values, atol=5e-3)
+
+    def test_rank_correlation_bounds(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert rank_correlation(a, a) == pytest.approx(1.0)
+        assert rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_empty_transcript_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_value_attack([], 3)

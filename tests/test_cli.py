@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bargain_defaults(self):
+        args = build_parser().parse_args(["bargain"])
+        assert args.dataset == "titanic"
+        assert args.task == "strategic"
+        assert args.runs == 1
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_figure_csv_dir(self):
+        args = build_parser().parse_args(["figure", "1", "--csv-dir", "/tmp/x"])
+        assert args.csv_dir == "/tmp/x"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bargain", "--dataset", "mnist"])
+
+
+class TestCommands:
+    def test_figure1_runs_without_market(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1a" in out and "Figure 1b" in out
+
+    def test_figure1_writes_csv(self, tmp_path, capsys):
+        assert main(["figure", "1", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1.csv").exists()
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Titanic" in out and "48842" in out
+
+    def test_bargain_prints_summary(self, capsys):
+        # Uses the cached market from other tests when available; still
+        # bounded by quick-mode market construction otherwise.
+        assert main(["bargain", "--runs", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "market: titanic/random_forest" in out
+        assert "run 0:" in out and "run 1:" in out

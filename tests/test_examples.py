@@ -1,0 +1,43 @@
+"""Smoke coverage for the example scripts.
+
+The examples build real markets (seconds each), so unit tests only
+verify they parse, import their dependencies, and expose a ``main``;
+full executions are exercised manually / in CI nightly.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # quickstart + >= 2 domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleScripts:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+        assert "def main(" in source
+
+    def test_has_docstring(self, path):
+        module = ast.parse(path.read_text())
+        assert ast.get_docstring(module), f"{path.stem} lacks a docstring"
+
+    def test_importable(self, path):
+        spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # runs top-level imports only
+        assert callable(module.main)

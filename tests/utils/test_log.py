@@ -1,0 +1,26 @@
+"""Tests for the library logging helper."""
+
+import logging
+
+from repro.utils import get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_library_root(self):
+        assert get_logger("engine").name == "repro.engine"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.market.engine").name == "repro.market.engine"
+
+    def test_null_handler_attached(self):
+        logger = get_logger("handler_check")
+        assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)
+
+    def test_hierarchy_controllable_from_root(self):
+        root = logging.getLogger("repro")
+        child = get_logger("hierarchy_check")
+        root.setLevel(logging.CRITICAL)
+        try:
+            assert child.getEffectiveLevel() == logging.CRITICAL
+        finally:
+            root.setLevel(logging.NOTSET)

@@ -1,0 +1,69 @@
+"""Tests for deterministic RNG trees."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_generator, spawn
+
+
+class TestSpawn:
+    def test_same_path_same_stream(self):
+        a = spawn(7, "market", 3).random(5)
+        b = spawn(7, "market", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = spawn(7, "market", 3).random(5)
+        b = spawn(7, "market", 4).random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = spawn(7, "market").random(5)
+        b = spawn(8, "market").random(5)
+        assert not np.allclose(a, b)
+
+    def test_string_keys_stable_across_calls(self):
+        # CRC32 of repr is process-independent, unlike hash().
+        a = spawn(0, "alpha", "beta").integers(0, 1 << 30)
+        b = spawn(0, "alpha", "beta").integers(0, 1 << 30)
+        assert a == b
+
+    def test_spawn_from_generator_does_not_advance_parent(self):
+        parent = np.random.default_rng(3)
+        state_before = parent.bit_generator.state
+        spawn(parent, "child").random(3)
+        assert parent.bit_generator.state == state_before
+
+    def test_spawn_from_seedsequence(self):
+        seq = np.random.SeedSequence(42)
+        a = spawn(seq, "x").random(3)
+        b = spawn(seq, "x").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(spawn(None, "x"), np.random.Generator)
+
+    def test_tuple_keys_supported(self):
+        a = spawn(1, ("run", 2)).random(2)
+        b = spawn(1, ("run", 2)).random(2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAsGenerator:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        np.testing.assert_array_equal(
+            as_generator(5).random(4), as_generator(5).random(4)
+        )
+
+    def test_seedsequence(self):
+        seq = np.random.SeedSequence(9)
+        a = as_generator(seq).random(3)
+        b = as_generator(np.random.SeedSequence(9)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)

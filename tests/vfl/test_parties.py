@@ -1,0 +1,47 @@
+"""Tests for party-local data views."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_titanic
+from repro.vfl.parties import DataParty, TaskParty, parties_from_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_titanic(400, seed=0).prepare(seed=0)
+
+
+class TestPartiesFromDataset:
+    def test_shapes(self, dataset):
+        task, data = parties_from_dataset(dataset)
+        assert task.d == dataset.d_task
+        assert data.d == dataset.d_data
+        assert task.X.shape[0] == data.X.shape[0] == dataset.n_samples
+
+    def test_train_test_views(self, dataset):
+        task, _ = parties_from_dataset(dataset)
+        assert task.X_train.shape[0] == task.y_train.shape[0]
+        assert task.X_test.shape[0] == task.y_test.shape[0]
+        np.testing.assert_array_equal(task.y_test, dataset.y_test.astype(float))
+
+    def test_task_party_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            TaskParty(
+                X=np.zeros((3, 2)),
+                y=np.zeros(4),
+                train_idx=np.arange(2),
+                test_idx=np.arange(2, 3),
+            )
+
+
+class TestDataParty:
+    def test_bundle_view_selects_columns(self, dataset):
+        _, data = parties_from_dataset(dataset)
+        view = data.bundle_view([0, 3])
+        np.testing.assert_array_equal(view[:, 1], data.X[:, 3])
+
+    def test_bundle_view_bounds_checked(self, dataset):
+        _, data = parties_from_dataset(dataset)
+        with pytest.raises(ValueError, match="bundle indices"):
+            data.bundle_view([data.d + 5])

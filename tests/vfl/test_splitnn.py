@@ -1,0 +1,76 @@
+"""Tests for the SplitNN protocol."""
+
+import numpy as np
+import pytest
+
+from repro.vfl import Channel, SplitNN
+from repro.vfl.parties import DataParty, TaskParty
+
+
+def xor_parties(n=600, seed=0):
+    """A task neither party can solve alone: y = XOR(sign(x_t), sign(x_d))."""
+    rng = np.random.default_rng(seed)
+    x_t = rng.normal(size=(n, 2))
+    x_d = rng.normal(size=(n, 2))
+    y = ((x_t[:, 0] > 0) ^ (x_d[:, 0] > 0)).astype(np.float64)
+    train = np.arange(0, int(0.8 * n))
+    test = np.arange(int(0.8 * n), n)
+    task = TaskParty(X=x_t, y=y, train_idx=train, test_idx=test)
+    data = DataParty(X=x_d, train_idx=train, test_idx=test)
+    return task, data
+
+
+class TestSplitNN:
+    def test_joint_training_solves_cross_party_xor(self):
+        task, data = xor_parties()
+        ch = Channel()
+        net = SplitNN(
+            2, 2, embed_dim=16, top_hidden=8, epochs=80, batch_size=64, rng=0
+        )
+        net.fit(task, data, (0, 1), ch)
+        acc = net.score(task.test_idx, task.y_test.astype(int), ch)
+        assert acc > 0.9, f"joint XOR accuracy too low: {acc}"
+
+    def test_task_party_alone_cannot_solve_it(self):
+        """Sanity: the XOR labels are independent of either party's marginal."""
+        task, _ = xor_parties()
+        corr = np.corrcoef(task.X[:, 0] > 0, task.y)[0, 1]
+        assert abs(corr) < 0.15
+
+    def test_loss_curve_decreases(self):
+        task, data = xor_parties(300)
+        net = SplitNN(2, 2, embed_dim=8, top_hidden=4, epochs=30, batch_size=32, rng=0)
+        net.fit(task, data, (0, 1), Channel())
+        assert net.loss_curve_[-1] < net.loss_curve_[0]
+
+    def test_only_activations_and_grads_cross_boundary(self):
+        task, data = xor_parties(200)
+        ch = Channel(keep_log=True)
+        SplitNN(2, 2, embed_dim=4, top_hidden=4, epochs=2, batch_size=64, rng=0).fit(
+            task, data, (0, 1), ch
+        )
+        kinds = {entry[2] for entry in ch.log}
+        assert kinds == {"batch_rows", "activations", "activation_grads"}
+
+    def test_deterministic_given_seed(self):
+        task, data = xor_parties(200)
+        p1 = (
+            SplitNN(2, 2, embed_dim=4, top_hidden=4, epochs=3, rng=5)
+            .fit(task, data, (0, 1), Channel())
+            .predict_proba(task.test_idx, Channel())
+        )
+        p2 = (
+            SplitNN(2, 2, embed_dim=4, top_hidden=4, epochs=3, rng=5)
+            .fit(task, data, (0, 1), Channel())
+            .predict_proba(task.test_idx, Channel())
+        )
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_empty_bundle_rejected(self):
+        task, data = xor_parties(100)
+        with pytest.raises(ValueError, match="at least one feature"):
+            SplitNN(2, 1, epochs=1, rng=0).fit(task, data, (), Channel())
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            SplitNN(2, 2, rng=0).predict_proba(np.arange(3), Channel())
