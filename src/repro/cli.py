@@ -5,6 +5,11 @@ Commands
 ``bargain``
     Play bargaining games on one of the paper's markets and print the
     outcome summary (the quickstart example, parameterised).
+``simulate``
+    Run a population of heterogeneous bargaining sessions through the
+    :class:`repro.simulate.SessionPool` scheduler and print the
+    aggregate report (acceptance rate, rounds, payment/net-profit
+    histograms, throughput).
 ``table``
     Regenerate one of the paper's tables (2, 3 or 4).
 ``figure``
@@ -17,6 +22,8 @@ Examples
 
     python -m repro bargain --dataset titanic --runs 5
     python -m repro bargain --dataset credit --task increase_price
+    python -m repro simulate --sessions 10000 --preset titanic
+    python -m repro simulate --sessions 1000 --mix "strategic:strategic=0.8,increase_price:strategic=0.2"
     python -m repro table 3 --dataset adult
     python -m repro figure 2 --dataset titanic --csv-dir results/
 """
@@ -52,6 +59,29 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("perfect", "imperfect"))
     bargain.add_argument("--runs", type=int, default=1)
     bargain.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a population of concurrent bargaining sessions"
+    )
+    simulate.add_argument("--sessions", type=int, default=1000,
+                          help="population size (default 1000)")
+    simulate.add_argument("--preset", default="synthetic",
+                          choices=("synthetic", "titanic", "credit", "adult"),
+                          help="calibration anchor for the population")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--batch-size", type=int, default=1024,
+                          help="scheduler batch width (outcomes are invariant)")
+    simulate.add_argument("--mix", default=None, metavar="PAIRS",
+                          help="strategy mix, e.g. "
+                               "'strategic:strategic=0.8,increase_price:strategic=0.2'")
+    simulate.add_argument("--cost", default=None, metavar="COSTS",
+                          help="bargaining-cost mix, e.g. 'none=0.7,linear:0.05=0.3'")
+    simulate.add_argument("--bins", type=int, default=16,
+                          help="histogram bins in the report")
+    simulate.add_argument("--json", default=None, metavar="PATH",
+                          help="also dump the report as JSON here")
+    simulate.add_argument("--expect-digest", default=None, metavar="HEX",
+                          help="fail unless the report digest matches (CI guard)")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 4))
@@ -93,6 +123,112 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
         print(f"summary: {len(accepted)}/{len(outcomes)} accepted | "
               f"mean net profit {np.mean([o.net_profit for o in accepted]):.2f} | "
               f"mean payment {np.mean([o.payment for o in accepted]):.3f}")
+    return 0
+
+
+def _float(text: str, context: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise SystemExit(f"bad {context}: {text!r} is not a number") from None
+
+
+def _parse_mix(text: str) -> tuple[tuple[str, str, float], ...]:
+    """``'strategic:strategic=0.8,...'`` -> strategy_mix triples."""
+    entries = []
+    for part in text.split(","):
+        pair, _, weight = part.strip().partition("=")
+        task, _, data = pair.partition(":")
+        if not (task and data):
+            raise SystemExit(f"bad --mix entry {part!r}; expected task:data=weight")
+        entries.append((task.strip(), data.strip(),
+                        _float(weight, f"--mix weight in {part!r}") if weight
+                        else 1.0))
+    return tuple(entries)
+
+
+def _parse_cost(text: str) -> tuple[tuple[str, float, float], ...]:
+    """``'none=0.7,linear:0.05=0.3'`` -> cost_mix triples."""
+    entries = []
+    for part in text.split(","):
+        spec, _, weight = part.strip().partition("=")
+        kind, _, a = spec.partition(":")
+        kind = kind.strip()
+        if kind != "none" and not a:
+            # Defaulting a missing parameter would silently flip the
+            # sessions into cost-aware (Eq. 6/7) acceptance mode.
+            raise SystemExit(
+                f"bad --cost entry {part!r}: {kind!r} needs a parameter "
+                f"(expected {kind}:a=weight)"
+            )
+        if kind == "none" and a:
+            # 'none:0.7' is the natural typo for 'none=0.7' — storing
+            # 0.7 as an ignored parameter would silently skew the mix.
+            raise SystemExit(
+                f"bad --cost entry {part!r}: 'none' takes no parameter "
+                f"(expected none=weight)"
+            )
+        entries.append((kind,
+                        _float(a, f"--cost parameter in {part!r}") if a else 0.0,
+                        _float(weight, f"--cost weight in {part!r}") if weight
+                        else 1.0))
+    return tuple(entries)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.simulate import (
+        PopulationSpec,
+        SessionPool,
+        build_report,
+        sample_population,
+    )
+
+    for name, value in (("--sessions", args.sessions),
+                        ("--batch-size", args.batch_size),
+                        ("--bins", args.bins)):
+        if value < 1:
+            raise SystemExit(f"{name} must be >= 1, got {value}")
+    overrides: dict = {"preset": args.preset}
+    if args.mix:
+        overrides["strategy_mix"] = _parse_mix(args.mix)
+    if args.cost:
+        overrides["cost_mix"] = _parse_cost(args.cost)
+    try:
+        spec = PopulationSpec(**overrides)
+    except ValueError as exc:  # unknown strategy/cost kind, bad weight, ...
+        raise SystemExit(f"invalid population spec: {exc}") from None
+    population = sample_population(spec, args.sessions, seed=args.seed)
+    result = SessionPool(population, batch_size=args.batch_size).run()
+    report = build_report(population, result, n_bins=args.bins)
+    print(report.to_text())
+    if args.json:
+        import json
+        import math
+        import os
+
+        def _jsonable(value):
+            # NaN/inf are not valid JSON tokens; strict parsers (jq,
+            # JSON.parse) reject them, so export them as null.
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            if isinstance(value, dict):
+                return {k: _jsonable(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [_jsonable(v) for v in value]
+            return value
+
+        payload = _jsonable(asdict(report))
+        payload["digest"] = report.digest()
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, allow_nan=False)
+        print(f"report written to {args.json}")
+    if args.expect_digest and report.digest() != args.expect_digest:
+        print(f"digest mismatch: got {report.digest()}, "
+              f"expected {args.expect_digest}")
+        return 1
     return 0
 
 
@@ -160,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bargain":
         return _cmd_bargain(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "table":
         return _cmd_table(args)
     return _cmd_figure(args)

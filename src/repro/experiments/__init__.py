@@ -1,6 +1,12 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
-from repro.experiments.aggregate import density, mean_ci, mean_std, nan_mean_ci
+from repro.experiments.aggregate import (
+    density,
+    histogram,
+    mean_ci,
+    mean_std,
+    nan_mean_ci,
+)
 from repro.experiments.config import BASE_MODELS, DATASETS, ExperimentScale, scale
 from repro.experiments.figures import figure1_series, figure23_series, figure4_series
 from repro.experiments.report import ascii_chart, format_table, write_csv
@@ -28,6 +34,7 @@ __all__ = [
     "figure4_series",
     "format_table",
     "get_market",
+    "histogram",
     "mean_ci",
     "mean_std",
     "nan_mean_ci",

@@ -9,7 +9,32 @@ from scipy import stats
 
 from repro.utils.validation import require
 
-__all__ = ["density", "mean_ci", "mean_std", "nan_mean_ci"]
+__all__ = ["density", "histogram", "mean_ci", "mean_std", "nan_mean_ci"]
+
+
+def histogram(
+    values: object, *, n_bins: int = 16, lo: float | None = None, hi: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-width histogram with deterministic, data-derived edges.
+
+    Returns ``(edges, counts)`` with ``len(edges) == n_bins + 1``.
+    Degenerate samples (a single point mass) get a unit-width bin
+    around the value so the result is always renderable.  Used by the
+    population simulator's aggregate report.
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    require(arr.size >= 1, "need at least one finite value")
+    require(n_bins >= 1, "n_bins must be >= 1")
+    lo = float(arr.min()) if lo is None else float(lo)
+    hi = float(arr.max()) if hi is None else float(hi)
+    require(hi >= lo, f"histogram bounds must satisfy lo <= hi, got [{lo}, {hi}]")
+    if hi - lo < 1e-12:
+        half = max(abs(lo), 1.0) * 0.5
+        lo, hi = lo - half, lo + half
+    edges = np.linspace(lo, hi, n_bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    return edges, counts
 
 
 def mean_ci(values: object, *, confidence: float = 0.95) -> tuple[float, float]:

@@ -23,7 +23,12 @@ from repro.market.costs import (
     ScaledCost,
     make_cost,
 )
-from repro.market.engine import BargainingEngine, BargainOutcome, RoundRecord
+from repro.market.engine import (
+    BargainingEngine,
+    BargainOutcome,
+    EngineState,
+    RoundRecord,
+)
 from repro.market.equilibrium import (
     epsilon_d_from_cost_tolerance,
     epsilon_t_from_cost_tolerance,
@@ -34,7 +39,7 @@ from repro.market.equilibrium import (
 from repro.market.estimation import DataGainEstimator, TaskGainEstimator
 from repro.market.market import Market
 from repro.market.objectives import break_even_gain, data_revenue_gap, task_net_profit
-from repro.market.oracle import PerformanceOracle
+from repro.market.oracle import MemoisedOracle, PerformanceOracle
 from repro.market.presets import MARKET_PRESETS, MarketPreset, preset_for
 from repro.market.pricing import (
     QuotedPrice,
@@ -61,6 +66,7 @@ __all__ = [
     "CostModel",
     "DataGainEstimator",
     "Decision",
+    "EngineState",
     "ExponentialCost",
     "FeatureBundle",
     "ImperfectDataParty",
@@ -72,6 +78,7 @@ __all__ = [
     "Market",
     "MarketConfig",
     "MarketPreset",
+    "MemoisedOracle",
     "NoCost",
     "PerformanceOracle",
     "QuotedPrice",

@@ -9,6 +9,18 @@ themselves.
 
 The engine records a full :class:`RoundRecord` trail; experiment
 harnesses aggregate those into the paper's Figure 2/3 curves.
+
+The round loop is exposed two ways:
+
+* :meth:`BargainingEngine.run` plays one game to completion (the
+  original API, unchanged);
+* :meth:`BargainingEngine.start` / :meth:`BargainingEngine.step`
+  advance the game one round at a time over an immutable
+  :class:`EngineState`, which is what lets
+  :class:`repro.simulate.SessionPool` interleave thousands of
+  concurrent games round-by-round.  ``run()`` is a thin loop over
+  ``step()``, so the two produce byte-identical record trails
+  (pinned by ``tests/market/test_engine_golden.py``).
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ from repro.market.strategies.base import DataStrategy, TaskStrategy
 from repro.market.termination import Decision
 from repro.utils.validation import require
 
-__all__ = ["BargainOutcome", "BargainingEngine", "RoundRecord"]
+__all__ = ["BargainOutcome", "BargainingEngine", "EngineState", "RoundRecord"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,39 @@ class BargainOutcome:
     def payment_after_cost(self) -> float:
         """``payment − C_d(T)`` (§3.4.4)."""
         return self.payment - self.cost_data
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """Loop state of one bargaining game between two rounds.
+
+    ``round_number`` counts fully played rounds; ``quote`` is the quote
+    standing for the *next* round; ``history`` is the record trail so
+    far.  A terminal state carries the :class:`BargainOutcome` in
+    ``outcome``; stepping a terminal state is an error.
+
+    The state is immutable and cheap to retain, which makes games
+    resumable and schedulable: a pool can hold thousands of states and
+    advance each one round at a time.  Note that *strategies* keep
+    their own learning state (estimators, offer trails) — an
+    ``EngineState`` is only resumable together with the engine that
+    produced it.
+
+    Rebuilding ``history`` per step is quadratic in rounds, but the
+    protocol caps games at ``max_rounds`` (the paper uses 500, where
+    the whole trail costs ~0.2 ms per game); revisit if round caps
+    ever grow by orders of magnitude.
+    """
+
+    round_number: int
+    quote: QuotedPrice
+    history: tuple[RoundRecord, ...] = ()
+    outcome: BargainOutcome | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the game has terminated."""
+        return self.outcome is not None
 
 
 class BargainingEngine:
@@ -165,55 +210,95 @@ class BargainingEngine:
             history=history,
         )
 
-    def run(self) -> BargainOutcome:
-        """Play the game to termination and return the outcome."""
-        history: list[RoundRecord] = []
-        quote = self.task.initial_quote()
-        record: RoundRecord | None = None
-        for round_number in range(1, self.max_rounds + 1):
-            # Step 2: the data party reacts to the standing quote.
-            response = self.data.respond(quote, round_number)
-            if response.decision is Decision.FAIL:
-                fail_record = RoundRecord(
-                    round_number, quote, None, float("nan"), 0.0, 0.0,
-                    self.cost_task(round_number), self.cost_data(round_number),
-                    Decision.FAIL, None,
-                )
-                history.append(fail_record)
-                return self._outcome("failed", "data_party", round_number, fail_record, history)
-            bundle = response.bundle
-            assert bundle is not None
-            # Step 3: the VFL course realises the gain.
-            delta_g = self.oracle.delta_g(bundle)
-            payment = quote.payment(delta_g)
-            net_profit = self.utility_rate * delta_g - payment
-            record = RoundRecord(
-                round_number=round_number,
-                quote=quote,
-                bundle=bundle,
-                delta_g=delta_g,
-                payment=payment,
-                net_profit=net_profit,
-                cost_task=self.cost_task(round_number),
-                cost_data=self.cost_data(round_number),
-                data_decision=response.decision,
-                task_decision=None,
-            )
-            history.append(record)
-            # Both parties observe the realised gain (estimator updates).
-            self.task.observe(quote, bundle, delta_g)
-            self.data.observe(quote, bundle, delta_g)
-            if response.decision is Decision.ACCEPT:
-                return self._outcome("accepted", "data_party", round_number, record, history)
-            # Step 1 of the next round: the task party reacts.
-            decision = self.task.decide(quote, delta_g, round_number)
-            history[-1] = record = replace(record, task_decision=decision.decision)
-            if decision.decision is Decision.FAIL:
-                return self._outcome("failed", "task_party", round_number, record, history)
-            if decision.decision is Decision.ACCEPT:
-                return self._outcome("accepted", "task_party", round_number, record, history)
-            assert decision.quote is not None
-            quote = decision.quote
-        return self._outcome(
-            "max_rounds", "engine", self.max_rounds, record, history
+    def start(self) -> EngineState:
+        """The pre-game state: the opening quote, no rounds played."""
+        return EngineState(round_number=0, quote=self.task.initial_quote())
+
+    def _terminal(
+        self,
+        status: str,
+        terminated_by: str,
+        round_number: int,
+        quote: QuotedPrice,
+        record: RoundRecord | None,
+        history: tuple[RoundRecord, ...],
+    ) -> EngineState:
+        """A terminal state carrying the game's outcome."""
+        return EngineState(
+            round_number, quote, history,
+            self._outcome(status, terminated_by, round_number, record,
+                          list(history)),
         )
+
+    def step(self, state: EngineState) -> EngineState:
+        """Play exactly one round (Steps 1-3 of §3.3) and return the
+        successor state.
+
+        The returned state is terminal (``.done``) when either party
+        walked away or accepted, or when the round cap was reached;
+        otherwise it carries the escalated quote for the next round.
+        """
+        require(not state.done, "cannot step a terminated game")
+        round_number = state.round_number + 1
+        quote = state.quote
+        # Step 2: the data party reacts to the standing quote.
+        response = self.data.respond(quote, round_number)
+        if response.decision is Decision.FAIL:
+            fail_record = RoundRecord(
+                round_number, quote, None, float("nan"), 0.0, 0.0,
+                self.cost_task(round_number), self.cost_data(round_number),
+                Decision.FAIL, None,
+            )
+            return self._terminal("failed", "data_party", round_number, quote,
+                                  fail_record, state.history + (fail_record,))
+        bundle = response.bundle
+        assert bundle is not None
+        # Step 3: the VFL course realises the gain.
+        delta_g = self.oracle.delta_g(bundle)
+        payment = quote.payment(delta_g)
+        net_profit = self.utility_rate * delta_g - payment
+        record = RoundRecord(
+            round_number=round_number,
+            quote=quote,
+            bundle=bundle,
+            delta_g=delta_g,
+            payment=payment,
+            net_profit=net_profit,
+            cost_task=self.cost_task(round_number),
+            cost_data=self.cost_data(round_number),
+            data_decision=response.decision,
+            task_decision=None,
+        )
+        # Both parties observe the realised gain (estimator updates).
+        self.task.observe(quote, bundle, delta_g)
+        self.data.observe(quote, bundle, delta_g)
+        if response.decision is Decision.ACCEPT:
+            return self._terminal("accepted", "data_party", round_number, quote,
+                                  record, state.history + (record,))
+        # Step 1 of the next round: the task party reacts.
+        decision = self.task.decide(quote, delta_g, round_number)
+        record = replace(record, task_decision=decision.decision)
+        history = state.history + (record,)
+        if decision.decision is Decision.FAIL:
+            return self._terminal("failed", "task_party", round_number, quote,
+                                  record, history)
+        if decision.decision is Decision.ACCEPT:
+            return self._terminal("accepted", "task_party", round_number, quote,
+                                  record, history)
+        assert decision.quote is not None
+        if round_number >= self.max_rounds:
+            return self._terminal("max_rounds", "engine", self.max_rounds,
+                                  decision.quote, record, history)
+        return EngineState(round_number, decision.quote, history)
+
+    def run(self) -> BargainOutcome:
+        """Play the game to termination and return the outcome.
+
+        Thin wrapper over :meth:`start`/:meth:`step`; the record trail
+        is identical to stepping manually.
+        """
+        state = self.start()
+        while not state.done:
+            state = self.step(state)
+        assert state.outcome is not None
+        return state.outcome

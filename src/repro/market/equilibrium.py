@@ -37,12 +37,17 @@ def equivalent_quote(quote: QuotedPrice, delta_g: float) -> QuotedPrice:
     """
     require(delta_g >= 0, "Theorem 3.1 applies to non-negative gains")
     new_cap = quote.base + quote.rate * delta_g
+    # The cap-slack tolerance must scale with the cap's magnitude:
+    # ``base + rate * turning_point`` already loses ~``cap * eps`` to
+    # rounding, which dwarfs any absolute slack once caps reach ~1e7
+    # (real-currency markets quote in cents, not unit payments).
+    slack = 1e-9 * max(1.0, abs(quote.cap))
     require(
-        new_cap <= quote.cap + 1e-9,
+        new_cap <= quote.cap + slack,
         "transformed cap exceeds the original quote's cap; "
         "delta_g must not exceed the original turning point",
     )
-    return QuotedPrice(rate=quote.rate, base=quote.base, cap=new_cap)
+    return QuotedPrice(rate=quote.rate, base=quote.base, cap=min(new_cap, quote.cap))
 
 
 def is_equilibrium_price(

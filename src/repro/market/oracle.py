@@ -20,7 +20,7 @@ from repro.market.bundle import FeatureBundle
 from repro.utils.validation import require
 from repro.vfl.runner import isolated_performance, run_vfl
 
-__all__ = ["PerformanceOracle"]
+__all__ = ["MemoisedOracle", "PerformanceOracle"]
 
 
 class PerformanceOracle:
@@ -130,3 +130,62 @@ class PerformanceOracle:
 
     def __len__(self) -> int:
         return len(self.bundles)
+
+
+class MemoisedOracle:
+    """Caches another oracle's ΔG answers across many concurrent games.
+
+    A population of bargaining sessions trading the same catalogue asks
+    the platform for the same bundles over and over — each of which, on
+    a real deployment, is a pre-bargaining VFL course.  Wrapping the
+    shared oracle memoises those answers: the first query per bundle
+    hits the inner oracle, every later one is a dictionary lookup.
+
+    ``query_count``/``hit_count`` expose how much platform work the
+    cache saved (the :class:`repro.simulate.SessionPool` reports them).
+    The wrapper satisfies the same query interface as
+    :class:`PerformanceOracle` and proxies its catalogue attributes.
+    """
+
+    def __init__(self, inner: PerformanceOracle):
+        self.inner = inner
+        self._cache: dict[FeatureBundle, float] = {}
+        self.query_count = 0
+        self.hit_count = 0
+
+    def delta_g(self, bundle: FeatureBundle) -> float:
+        """ΔG of one bundle; answered from cache after the first query."""
+        self.query_count += 1
+        if bundle in self._cache:
+            self.hit_count += 1
+            return self._cache[bundle]
+        value = self.inner.delta_g(bundle)
+        self._cache[bundle] = value
+        return value
+
+    def gains(self) -> dict[FeatureBundle, float]:
+        """Materialise (and fully cache) the inner catalogue."""
+        full = self.inner.gains()
+        self._cache.update(full)
+        return full
+
+    @property
+    def bundles(self) -> list[FeatureBundle]:
+        return self.inner.bundles
+
+    @property
+    def max_gain(self) -> float:
+        return self.inner.max_gain
+
+    @property
+    def min_gain(self) -> float:
+        return self.inner.min_gain
+
+    def best_bundle(self) -> FeatureBundle:
+        return self.inner.best_bundle()
+
+    def quantile_gain(self, q: float) -> float:
+        return self.inner.quantile_gain(q)
+
+    def __len__(self) -> int:
+        return len(self.inner)

@@ -1,0 +1,291 @@
+"""Vectorised round kernel for strategic-vs-strategic sessions.
+
+This is the batch-scheduling fast path of the simulator: it advances a
+whole batch of perfect-information strategic sessions one round at a
+time with numpy array operations, instead of paying the per-round
+Python costs of :class:`~repro.market.engine.BargainingEngine` (which
+builds ~``n_price_samples`` :class:`QuotedPrice` objects and makes two
+scalar RNG calls per candidate, ~850 µs/round — see
+``benchmarks/bench_population_sim.py``).
+
+The kernel implements exactly the same decision rules as the scalar
+strategies — Eq. 4 offer selection, Cases 1-6 termination, the Eq. 6/7
+cost-aware acceptances, Algorithm 1's escalated candidate sampling with
+min-cap selection — and the same sampling *distributions*, but consumes
+each session's RNG stream in a different order (array draws instead of
+interleaved scalar draws), so individual sessions are statistically,
+not bitwise, equivalent to ``BargainingEngine.run()``
+(``tests/simulate/test_pool.py`` pins the aggregate agreement).
+
+Determinism contract: every random draw comes from the session's own
+``spawn(seed, "session", i, "kernel")`` generator, consumed in round
+order — results are therefore independent of how sessions are grouped
+into batches (pinned by ``tests/simulate/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import spawn
+
+__all__ = [
+    "BY_DATA",
+    "BY_ENGINE",
+    "BY_TASK",
+    "STATUS_ACCEPTED",
+    "STATUS_FAILED",
+    "STATUS_MAX_ROUNDS",
+    "simulate_strategic_batch",
+]
+
+STATUS_ACCEPTED = 1
+STATUS_FAILED = 2
+STATUS_MAX_ROUNDS = 3
+
+BY_DATA = 1
+BY_TASK = 2
+BY_ENGINE = 3
+
+_COST_NONE, _COST_CONSTANT, _COST_LINEAR, _COST_EXPONENTIAL = 0, 1, 2, 3
+
+
+def _cost_at(kind: np.ndarray, a: np.ndarray, round_number: int) -> np.ndarray:
+    """Cumulative bargaining cost per session after ``round_number``."""
+    cost = np.zeros(len(kind))
+    mask = kind == _COST_CONSTANT
+    cost[mask] = a[mask]
+    mask = kind == _COST_LINEAR
+    cost[mask] = a[mask] * round_number
+    mask = kind == _COST_EXPONENTIAL
+    cost[mask] = a[mask] ** round_number
+    return cost
+
+
+def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.ndarray]:
+    """Run the sessions in ``indices`` (all strategic/strategic) to
+    termination and return their terminal records as arrays.
+
+    Returned keys: ``status``, ``terminated_by``, ``n_rounds``,
+    ``delta_g``, ``payment``, ``net_profit``, ``cost_task``,
+    ``cost_data``, ``final_rate``, ``final_base``, ``final_cap`` — the
+    same quantities a :class:`~repro.market.engine.BargainOutcome`
+    carries, for the batch.
+    """
+    indices = np.asarray(indices, dtype=int)
+    n = len(indices)
+    spec = population.spec
+    n_samples = spec.n_price_samples
+    max_rounds = spec.max_rounds
+
+    g = population.gains  # (F,) shared catalogue
+    res_rate = population.reserved_rate[indices]  # (n, F)
+    res_base = population.reserved_base[indices]
+    u = population.utility_rate[indices]
+    budget = population.budget[indices]
+    p0 = population.initial_rate[indices]
+    b0 = population.initial_base[indices]
+    target = population.target[indices]
+    eps_d = population.eps_d[indices]
+    eps_t = population.eps_t[indices]
+    eps_dc = population.eps_dc[indices]
+    eps_tc = population.eps_tc[indices]
+    cost_kind = population.cost_kind[indices]
+    cost_a = population.cost_a[indices]
+    has_cost = cost_kind != _COST_NONE
+    break_even = b0 / (u - p0)  # Case-4 bar, anchored to the opening quote
+
+    gens = [spawn(population.seed, "session", int(i), "kernel") for i in indices]
+
+    # Standing quote per session (opens Eq.5-consistent at the target).
+    rate = p0.copy()
+    base = b0.copy()
+    cap = b0 + p0 * target
+
+    # Terminal records.
+    status = np.zeros(n, dtype=np.int8)
+    terminated_by = np.zeros(n, dtype=np.int8)
+    n_rounds = np.zeros(n, dtype=np.int32)
+    out_gain = np.full(n, np.nan)
+    out_pay = np.zeros(n)
+    out_net = np.zeros(n)
+    out_ct = np.zeros(n)
+    out_cd = np.zeros(n)
+    out_rate = np.full(n, np.nan)
+    out_base = np.full(n, np.nan)
+    out_cap = np.full(n, np.nan)
+
+    # Offer trail for the Case-4 regression test (grown on demand).
+    trail_width = min(64, max_rounds)
+    tr_rate = np.empty((n, trail_width))
+    tr_base = np.empty((n, trail_width))
+    tr_gain = np.empty((n, trail_width))
+
+    def finalise(rows, *, st, by, T, gain=None, pay=None, net=None, ct=None, cd=None,
+                 q_rate=None, q_base=None, q_cap=None):
+        status[rows] = st
+        terminated_by[rows] = by
+        n_rounds[rows] = T
+        if gain is not None:
+            out_gain[rows] = gain
+            out_pay[rows] = pay
+            out_net[rows] = net
+        out_ct[rows] = ct
+        out_cd[rows] = cd
+        out_rate[rows] = q_rate
+        out_base[rows] = q_base
+        out_cap[rows] = q_cap
+
+    live = np.arange(n)
+    for T in range(1, max_rounds + 1):
+        if live.size == 0:
+            break
+        rate_l, base_l, cap_l = rate[live], base[live], cap[live]
+        tp = (cap_l - base_l) / rate_l  # turning point (== target up to fp)
+        cost_r = _cost_at(cost_kind[live], cost_a[live], T)
+        cost_r1 = _cost_at(cost_kind[live], cost_a[live], T + 1)
+
+        # --- Step 2: the data party reacts (Cases 1-3) -----------------
+        afford = (res_rate[live] <= rate_l[:, None] + 1e-12) & (
+            res_base[live] <= base_l[:, None] + 1e-12
+        )
+        any_aff = afford.any(axis=1)
+        if not any_aff.all():  # Case 1: no affordable bundle -> fail
+            dead = ~any_aff
+            finalise(live[dead], st=STATUS_FAILED, by=BY_DATA, T=T,
+                     ct=cost_r[dead], cd=cost_r[dead],
+                     q_rate=rate_l[dead], q_base=base_l[dead], q_cap=cap_l[dead])
+            keep = any_aff
+            live, rate_l, base_l, cap_l, tp = (
+                live[keep], rate_l[keep], base_l[keep], cap_l[keep], tp[keep])
+            afford, cost_r, cost_r1 = afford[keep], cost_r[keep], cost_r1[keep]
+
+        # Eq. 4 offer: the affordable gain closest to the turning point
+        # from below; if everything overshoots, the smallest overshoot.
+        below = afford & (g[None, :] <= tp[:, None])
+        g_below = np.where(below, g[None, :], -np.inf).max(axis=1)
+        g_over = np.where(afford, g[None, :], np.inf).min(axis=1)
+        gain = np.where(np.isfinite(g_below), g_below, g_over)
+        payment = np.minimum(np.maximum(base_l, base_l + rate_l * gain), cap_l)
+        net = u[live] * gain - payment
+
+        accept_d = (tp - gain) <= eps_d[live]  # Case 2
+        costly = has_cost[live]
+        if costly.any():  # Eq. 6 look-ahead acceptance
+            tgt = np.abs(g[None, :] - tp[:, None]).argmin(axis=1)
+            rrt = res_rate[live, tgt]
+            rbt = res_base[live, tgt]
+            lhs = base_l + rate_l * gain - cost_r
+            nxt = np.maximum(rbt, base_l) + np.maximum(rrt, rate_l) * tp
+            rhs = nxt - cost_r1 - eps_dc[live]
+            accept_d |= costly & (lhs >= rhs)
+        if accept_d.any():
+            acc = accept_d
+            finalise(live[acc], st=STATUS_ACCEPTED, by=BY_DATA, T=T,
+                     gain=gain[acc], pay=payment[acc], net=net[acc],
+                     ct=cost_r[acc], cd=cost_r[acc],
+                     q_rate=rate_l[acc], q_base=base_l[acc], q_cap=cap_l[acc])
+            keep = ~accept_d
+            live, rate_l, base_l, cap_l, tp = (
+                live[keep], rate_l[keep], base_l[keep], cap_l[keep], tp[keep])
+            gain, payment, net = gain[keep], payment[keep], net[keep]
+            cost_r, cost_r1 = cost_r[keep], cost_r1[keep]
+        if live.size == 0:
+            continue
+
+        # --- Step 1 of the next round: the task party reacts (4-6) -----
+        k = T - 1
+        if k > 0:
+            dom = (rate_l[:, None] >= tr_rate[live, :k] - 1e-12) & (
+                base_l[:, None] >= tr_base[live, :k] - 1e-12
+            )
+            best_dom = np.where(dom, tr_gain[live, :k], -np.inf).max(axis=1)
+        else:
+            best_dom = np.full(live.size, -np.inf)
+        if k >= trail_width:  # grow the trail (games rarely get here)
+            grow = min(trail_width, max_rounds - trail_width)
+            pad = np.empty((n, grow))
+            tr_rate = np.concatenate([tr_rate, pad], axis=1)
+            tr_base = np.concatenate([tr_base, pad], axis=1)
+            tr_gain = np.concatenate([tr_gain, pad], axis=1)
+            trail_width += grow
+        tr_rate[live, k] = rate_l
+        tr_base[live, k] = base_l
+        tr_gain[live, k] = gain
+
+        fail_t = (gain < break_even[live]) & (gain < best_dom)  # Case 4
+        accept_t = gain >= tp - eps_t[live]  # Case 5
+        costly = has_cost[live]
+        if costly.any():  # Eq. 7 look-ahead acceptance
+            lhs = u[live] * gain - (base_l + rate_l * gain) - cost_r
+            rhs = u[live] * tp - cap_l - cost_r1 - eps_tc[live]
+            accept_t |= costly & (lhs >= rhs)
+        accept_t &= ~fail_t  # failure checked first, as in the engine
+
+        # Case 6: escalated Eq.5-consistent candidates, min-cap pick.
+        running = ~fail_t & ~accept_t
+        exhausted = running & (cap_l >= budget[live] - 1e-12)
+        sample = running & ~exhausted
+        rows = np.flatnonzero(sample)
+        if rows.size:
+            draws = np.empty((rows.size, 2, n_samples))
+            for ii, row in enumerate(rows):
+                draws[ii] = gens[live[row]].random((2, n_samples))
+            cl = cap_l[rows, None]
+            caps = cl + (budget[live[rows], None] - cl) * draws[:, 0, :]
+            valid = caps > cl + 1e-12
+            rate_high = np.minimum(
+                u[live[rows], None],
+                (caps - b0[live[rows], None]) / target[live[rows], None],
+            )
+            valid &= rate_high > p0[live[rows], None]
+            rates = (
+                p0[live[rows], None]
+                + (rate_high - p0[live[rows], None]) * draws[:, 1, :]
+            )
+            masked = np.where(valid, caps, np.inf)
+            pick = masked.argmin(axis=1)
+            got = valid[np.arange(rows.size), pick]
+            # No admissible candidate left: accept the standing outcome
+            # rather than walk away from a profitable trade.
+            exhausted[rows[~got]] = True
+            ok = rows[got]
+            new_cap = caps[np.arange(rows.size), pick][got]
+            new_rate = rates[np.arange(rows.size), pick][got]
+            cap[live[ok]] = new_cap
+            rate[live[ok]] = new_rate
+            base[live[ok]] = new_cap - new_rate * target[live[ok]]
+
+        accept_t |= exhausted
+        if fail_t.any() or accept_t.any():
+            for mask, st, by in ((fail_t, STATUS_FAILED, BY_TASK),
+                                 (accept_t, STATUS_ACCEPTED, BY_TASK)):
+                if mask.any():
+                    finalise(live[mask], st=st, by=by, T=T,
+                             gain=gain[mask], pay=payment[mask], net=net[mask],
+                             ct=cost_r[mask], cd=cost_r[mask],
+                             q_rate=rate_l[mask], q_base=base_l[mask],
+                             q_cap=cap_l[mask])
+        cont = ~fail_t & ~accept_t
+        if T == max_rounds and cont.any():  # round cap: counted as failed
+            finalise(live[cont], st=STATUS_MAX_ROUNDS, by=BY_ENGINE, T=T,
+                     gain=gain[cont], pay=payment[cont], net=net[cont],
+                     ct=cost_r[cont], cd=cost_r[cont],
+                     q_rate=rate_l[cont], q_base=base_l[cont], q_cap=cap_l[cont])
+            live = live[:0]
+        else:
+            live = live[cont]
+
+    return {
+        "status": status,
+        "terminated_by": terminated_by,
+        "n_rounds": n_rounds,
+        "delta_g": out_gain,
+        "payment": out_pay,
+        "net_profit": out_net,
+        "cost_task": out_ct,
+        "cost_data": out_cd,
+        "final_rate": out_rate,
+        "final_base": out_base,
+        "final_cap": out_cap,
+    }

@@ -1,0 +1,197 @@
+"""The session-pool scheduler: many bargaining games, round by round.
+
+:class:`SessionPool` is the concurrency seam of the simulator.  It
+splits a :class:`~repro.simulate.population.Population` into batches
+and advances every session round-by-round until termination:
+
+* strategic-vs-strategic sessions go through the vectorised batch
+  kernel (:mod:`repro.simulate.kernel`), which amortises the per-round
+  Python costs across the whole batch;
+* every other strategy mix runs on the stepwise
+  :meth:`~repro.market.engine.BargainingEngine.step` core, interleaved
+  round-by-round within its batch, with platform queries deduplicated
+  through a shared :class:`~repro.market.oracle.MemoisedOracle`.
+
+Because each session draws from its own seeded RNG stream, results are
+independent of ``batch_size`` — batching is purely an execution
+concern, which is what lets the same pool later shard across processes
+or hosts without changing outcomes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.engine import BargainOutcome
+from repro.market.oracle import MemoisedOracle
+from repro.simulate.kernel import (
+    BY_DATA,
+    BY_ENGINE,
+    BY_TASK,
+    STATUS_ACCEPTED,
+    STATUS_FAILED,
+    STATUS_MAX_ROUNDS,
+    simulate_strategic_batch,
+)
+from repro.simulate.population import Population
+from repro.utils.validation import require
+
+__all__ = ["PoolResult", "SessionPool"]
+
+_STATUS_CODES = {
+    "accepted": STATUS_ACCEPTED,
+    "failed": STATUS_FAILED,
+    "max_rounds": STATUS_MAX_ROUNDS,
+}
+_TERMINATOR_CODES = {"data_party": BY_DATA, "task_party": BY_TASK, "engine": BY_ENGINE}
+_STATUS_NAMES = {code: name for name, code in _STATUS_CODES.items()}
+_TERMINATOR_NAMES = {code: name for name, code in _TERMINATOR_CODES.items()}
+
+
+@dataclass
+class PoolResult:
+    """Terminal records of every session, as parallel arrays.
+
+    ``status``/``terminated_by`` hold the kernel's integer codes
+    (decode with :meth:`status_names`); monetary fields mirror
+    :class:`~repro.market.engine.BargainOutcome`.
+    """
+
+    status: np.ndarray
+    terminated_by: np.ndarray
+    n_rounds: np.ndarray
+    delta_g: np.ndarray
+    payment: np.ndarray
+    net_profit: np.ndarray
+    cost_task: np.ndarray
+    cost_data: np.ndarray
+    final_rate: np.ndarray
+    final_base: np.ndarray
+    final_cap: np.ndarray
+    kernel_sessions: int
+    stepped_sessions: int
+    oracle_queries: int
+    oracle_hits: int
+    elapsed: float
+
+    @property
+    def accepted(self) -> np.ndarray:
+        """Boolean mask of successful transactions."""
+        return self.status == STATUS_ACCEPTED
+
+    def status_names(self) -> list[str]:
+        """Per-session status strings (``accepted``/``failed``/``max_rounds``)."""
+        return [_STATUS_NAMES[int(s)] for s in self.status]
+
+    def terminator_names(self) -> list[str]:
+        """Per-session terminator strings (``data_party``/``task_party``/``engine``)."""
+        return [_TERMINATOR_NAMES[int(t)] for t in self.terminated_by]
+
+
+class SessionPool:
+    """Advances a population of bargaining sessions to termination.
+
+    Parameters
+    ----------
+    population:
+        The sampled sessions (shared catalogue + per-session params).
+    batch_size:
+        Execution granularity.  Outcomes are invariant to this; it only
+        trades peak memory against vectorisation width.
+    """
+
+    def __init__(self, population: Population, *, batch_size: int = 1024):
+        require(batch_size >= 1, "batch_size must be >= 1")
+        self.population = population
+        self.batch_size = int(batch_size)
+
+    # ------------------------------------------------------------------
+    def run(self) -> PoolResult:
+        """Play every session to termination and collect terminal records."""
+        pop = self.population
+        n = pop.n_sessions
+        arrays = {
+            "status": np.zeros(n, dtype=np.int8),
+            "terminated_by": np.zeros(n, dtype=np.int8),
+            "n_rounds": np.zeros(n, dtype=np.int32),
+            "delta_g": np.full(n, np.nan),
+            "payment": np.zeros(n),
+            "net_profit": np.zeros(n),
+            "cost_task": np.zeros(n),
+            "cost_data": np.zeros(n),
+            "final_rate": np.full(n, np.nan),
+            "final_base": np.full(n, np.nan),
+            "final_cap": np.full(n, np.nan),
+        }
+        t0 = time.perf_counter()
+
+        eligible = pop.kernel_eligible()
+        kernel_idx = np.flatnonzero(eligible)
+        for batch in _chunks(kernel_idx, self.batch_size):
+            out = simulate_strategic_batch(pop, batch)
+            for key, values in out.items():
+                arrays[key][batch] = values
+
+        stepped_idx = np.flatnonzero(~eligible)
+        oracle = MemoisedOracle(pop.oracle)
+        for batch in _chunks(stepped_idx, self.batch_size):
+            self._run_stepwise(batch, oracle, arrays)
+
+        elapsed = time.perf_counter() - t0
+        return PoolResult(
+            **arrays,
+            kernel_sessions=int(kernel_idx.size),
+            stepped_sessions=int(stepped_idx.size),
+            oracle_queries=oracle.query_count,
+            oracle_hits=oracle.hit_count,
+            elapsed=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_stepwise(
+        self,
+        batch: np.ndarray,
+        oracle: MemoisedOracle,
+        arrays: dict[str, np.ndarray],
+    ) -> None:
+        """Advance one batch of engine-backed sessions round-by-round.
+
+        All sessions play round 1, then round 2, ... — the interleave a
+        distributed scheduler needs (checkpoint between rounds, migrate
+        sessions mid-game) — rather than one game at a time.
+        """
+        engines = {int(i): self.population.build_engine(int(i), oracle=oracle)
+                   for i in batch}
+        states = {i: engine.start() for i, engine in engines.items()}
+        while states:
+            for i in list(states):
+                state = engines[i].step(states[i])
+                if state.done:
+                    assert state.outcome is not None
+                    self._record(arrays, i, state.outcome)
+                    del states[i]
+                else:
+                    states[i] = state
+
+    @staticmethod
+    def _record(arrays: dict[str, np.ndarray], i: int, outcome: BargainOutcome) -> None:
+        arrays["status"][i] = _STATUS_CODES[outcome.status]
+        arrays["terminated_by"][i] = _TERMINATOR_CODES[outcome.terminated_by]
+        arrays["n_rounds"][i] = outcome.n_rounds
+        arrays["delta_g"][i] = outcome.delta_g
+        arrays["payment"][i] = outcome.payment
+        arrays["net_profit"][i] = outcome.net_profit
+        arrays["cost_task"][i] = outcome.cost_task
+        arrays["cost_data"][i] = outcome.cost_data
+        if outcome.quote is not None:
+            arrays["final_rate"][i] = outcome.quote.rate
+            arrays["final_base"][i] = outcome.quote.base
+            arrays["final_cap"][i] = outcome.quote.cap
+
+
+def _chunks(indices: np.ndarray, size: int):
+    for start in range(0, len(indices), size):
+        yield indices[start : start + size]

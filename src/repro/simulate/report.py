@@ -1,0 +1,246 @@
+"""Aggregate reporting over a simulated session population.
+
+Collapses a :class:`~repro.simulate.pool.PoolResult` into the
+population-level quantities an operator watches — acceptance rate,
+round counts, payment / net-profit distributions, per-strategy-mix
+breakdowns — using the same statistical helpers as the paper's
+experiment harness (:mod:`repro.experiments.aggregate`).
+
+The report is deterministic given ``(spec, seed)``:
+:meth:`SimulationReport.digest` hashes every outcome-derived field
+(wall-clock timing is excluded), which is what the determinism tests
+and the CLI's ``--expect-digest`` hook compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.aggregate import histogram, mean_std
+from repro.experiments.report import format_table
+from repro.simulate.kernel import STATUS_ACCEPTED, STATUS_FAILED, STATUS_MAX_ROUNDS
+from repro.simulate.pool import PoolResult
+from repro.simulate.population import Population
+
+__all__ = ["SimulationReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class MixBreakdown:
+    """Aggregates for one strategy pairing of the population mix."""
+
+    label: str
+    count: int
+    acceptance_rate: float
+    mean_rounds: float
+    mean_net_profit: float
+    mean_payment: float
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Population-level view of one simulation run."""
+
+    preset: str
+    seed: int
+    n_sessions: int
+    accepted: int
+    failed: int
+    max_rounds: int
+    acceptance_rate: float
+    mean_rounds: float
+    std_rounds: float
+    payment_mean: float
+    payment_std: float
+    net_profit_mean: float
+    net_profit_std: float
+    delta_g_mean: float
+    payment_hist: tuple[tuple[float, ...], tuple[int, ...]]
+    net_profit_hist: tuple[tuple[float, ...], tuple[int, ...]]
+    rounds_hist: tuple[tuple[float, ...], tuple[int, ...]]
+    mix: tuple[MixBreakdown, ...]
+    kernel_sessions: int
+    stepped_sessions: int
+    oracle_queries: int
+    oracle_hits: int
+    elapsed: float = field(compare=False)
+    sessions_per_sec: float = field(compare=False)
+
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Hex digest over every outcome-derived field.
+
+        Two runs of the same ``(spec, seed)`` population must produce
+        the same digest regardless of batch size or wall-clock — the
+        contract ``tests/simulate/test_determinism.py`` enforces.
+        """
+        parts: list[str] = [self.preset, str(self.seed), str(self.n_sessions)]
+        parts += [str(x) for x in (self.accepted, self.failed, self.max_rounds,
+                                   self.kernel_sessions, self.stepped_sessions,
+                                   self.oracle_queries, self.oracle_hits)]
+        for value in (self.acceptance_rate, self.mean_rounds, self.std_rounds,
+                      self.payment_mean, self.payment_std,
+                      self.net_profit_mean, self.net_profit_std,
+                      self.delta_g_mean):
+            parts.append(float(value).hex())
+        for edges, counts in (self.payment_hist, self.net_profit_hist,
+                              self.rounds_hist):
+            parts += [float(e).hex() for e in edges]
+            parts += [str(c) for c in counts]
+        for row in self.mix:
+            parts += [row.label, str(row.count)]
+            parts += [float(x).hex() for x in (row.acceptance_rate, row.mean_rounds,
+                                               row.mean_net_profit, row.mean_payment)]
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Operator-facing plain-text report."""
+        lines = [
+            f"population: {self.n_sessions} sessions | preset {self.preset} "
+            f"| seed {self.seed} | digest {self.digest()}",
+            f"schedule:   {self.kernel_sessions} batch-kernel + "
+            f"{self.stepped_sessions} stepwise sessions | "
+            f"{self.oracle_queries} oracle queries "
+            f"({self.oracle_hits} served from cache)",
+            f"throughput: {self.sessions_per_sec:,.0f} sessions/s "
+            f"({self.elapsed:.2f}s wall)",
+            "",
+            format_table(
+                ["outcome", "sessions", "share"],
+                [
+                    ["accepted", self.accepted, _pct(self.accepted, self.n_sessions)],
+                    ["failed", self.failed, _pct(self.failed, self.n_sessions)],
+                    ["max_rounds", self.max_rounds, _pct(self.max_rounds, self.n_sessions)],
+                ],
+                title="Outcomes",
+            ),
+            "",
+            format_table(
+                ["metric", "mean", "std"],
+                [
+                    ["rounds (all sessions)", self.mean_rounds, self.std_rounds],
+                    ["payment (accepted)", self.payment_mean, self.payment_std],
+                    ["net profit (accepted)", self.net_profit_mean, self.net_profit_std],
+                    ["realised dG (accepted)", self.delta_g_mean, float("nan")],
+                ],
+                title="Monetary aggregates",
+            ),
+        ]
+        if len(self.mix) > 1:
+            lines += [
+                "",
+                format_table(
+                    ["strategy pair", "sessions", "accept", "rounds", "net", "payment"],
+                    [
+                        [m.label, m.count, _pct_rate(m.acceptance_rate),
+                         m.mean_rounds, m.mean_net_profit, m.mean_payment]
+                        for m in self.mix
+                    ],
+                    title="Strategy mix",
+                ),
+            ]
+        for name, hist in (("payment", self.payment_hist),
+                           ("net profit", self.net_profit_hist),
+                           ("rounds", self.rounds_hist)):
+            lines += ["", _render_hist(name, hist)]
+        return "\n".join(lines)
+
+
+def _pct(count: int, total: int) -> str:
+    return f"{100.0 * count / max(total, 1):.1f}%"
+
+
+def _pct_rate(rate: float) -> str:
+    return f"{100.0 * rate:.1f}%"
+
+
+def _render_hist(
+    name: str, hist: tuple[tuple[float, ...], tuple[int, ...]], *, width: int = 46
+) -> str:
+    edges, counts = hist
+    if not counts:
+        return f"{name}: no accepted sessions"
+    top = max(counts)
+    lines = [f"{name} distribution (accepted sessions)"]
+    for j, count in enumerate(counts):
+        bar = "#" * int(round(width * count / top)) if top else ""
+        lines.append(f"  [{edges[j]:>10.4g}, {edges[j + 1]:>10.4g})  "
+                     f"{str(count).rjust(6)}  {bar}")
+    return "\n".join(lines)
+
+
+def build_report(
+    population: Population, result: PoolResult, *, n_bins: int = 16
+) -> SimulationReport:
+    """Aggregate a pool run into a :class:`SimulationReport`."""
+    n = population.n_sessions
+    accepted_mask = result.status == STATUS_ACCEPTED
+    n_accepted = int(accepted_mask.sum())
+    rounds_mean, rounds_std = mean_std(result.n_rounds.astype(float))
+
+    if n_accepted:
+        pay = result.payment[accepted_mask]
+        net = result.net_profit[accepted_mask]
+        pay_mean, pay_std = mean_std(pay)
+        net_mean, net_std = mean_std(net)
+        dg_mean = float(result.delta_g[accepted_mask].mean())
+        pay_hist = _hist(pay, n_bins)
+        net_hist = _hist(net, n_bins)
+        rounds_hist = _hist(result.n_rounds[accepted_mask].astype(float), n_bins)
+    else:
+        pay_mean = pay_std = net_mean = net_std = dg_mean = float("nan")
+        pay_hist = net_hist = rounds_hist = ((), ())
+
+    mix_rows = []
+    for m, (task, data, _) in enumerate(population.spec.strategy_mix):
+        member = population.mix_idx == m
+        count = int(member.sum())
+        if not count:
+            continue
+        acc = member & accepted_mask
+        mix_rows.append(MixBreakdown(
+            label=f"{task}/{data}",
+            count=count,
+            acceptance_rate=float(acc.sum()) / count,
+            mean_rounds=float(result.n_rounds[member].mean()),
+            mean_net_profit=float(result.net_profit[acc].mean()) if acc.any()
+            else float("nan"),
+            mean_payment=float(result.payment[acc].mean()) if acc.any()
+            else float("nan"),
+        ))
+
+    return SimulationReport(
+        preset=population.spec.preset,
+        seed=population.seed,
+        n_sessions=n,
+        accepted=n_accepted,
+        failed=int((result.status == STATUS_FAILED).sum()),
+        max_rounds=int((result.status == STATUS_MAX_ROUNDS).sum()),
+        acceptance_rate=n_accepted / max(n, 1),
+        mean_rounds=rounds_mean,
+        std_rounds=rounds_std,
+        payment_mean=pay_mean,
+        payment_std=pay_std,
+        net_profit_mean=net_mean,
+        net_profit_std=net_std,
+        delta_g_mean=dg_mean,
+        payment_hist=pay_hist,
+        net_profit_hist=net_hist,
+        rounds_hist=rounds_hist,
+        mix=tuple(mix_rows),
+        kernel_sessions=result.kernel_sessions,
+        stepped_sessions=result.stepped_sessions,
+        oracle_queries=result.oracle_queries,
+        oracle_hits=result.oracle_hits,
+        elapsed=result.elapsed,
+        sessions_per_sec=n / result.elapsed if result.elapsed > 0 else float("inf"),
+    )
+
+
+def _hist(values: np.ndarray, n_bins: int):
+    edges, counts = histogram(values, n_bins=n_bins)
+    return tuple(float(e) for e in edges), tuple(int(c) for c in counts)

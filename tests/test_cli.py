@@ -28,6 +28,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bargain", "--dataset", "mnist"])
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.sessions == 1000
+        assert args.preset == "synthetic"
+        assert args.batch_size == 1024
+
+    def test_simulate_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--preset", "mnist"])
+
+    def test_simulate_malformed_mix_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["simulate", "--sessions", "5",
+                  "--mix", "strategic:strategic=abc"])
+        with pytest.raises(SystemExit, match="invalid population spec"):
+            main(["simulate", "--sessions", "5", "--cost", "frobnicate:2=1.0"])
+        with pytest.raises(SystemExit, match="invalid population spec"):
+            main(["simulate", "--sessions", "5", "--mix", "alien:strategic=1"])
+
+    def test_simulate_cost_without_parameter_rejected(self):
+        # 'constant=0.3' (missing ':a') must not silently become
+        # ConstantCost(0), which would flip on Eq. 6/7 acceptance.
+        with pytest.raises(SystemExit, match="needs a parameter"):
+            main(["simulate", "--sessions", "5", "--cost", "constant=0.3"])
+
+    def test_simulate_none_cost_with_parameter_rejected(self):
+        # 'none:0.7' (colon for '=') must not silently default weight 1.
+        with pytest.raises(SystemExit, match="takes no parameter"):
+            main(["simulate", "--sessions", "5", "--cost", "none:0.7"])
+
+    def test_simulate_bad_counts_exit_cleanly(self):
+        for argv in (["simulate", "--sessions", "0"],
+                     ["simulate", "--batch-size", "0"],
+                     ["simulate", "--bins", "0"]):
+            with pytest.raises(SystemExit, match="must be >= 1"):
+                main(argv)
+
 
 class TestCommands:
     def test_figure1_runs_without_market(self, capsys):
@@ -43,6 +80,40 @@ class TestCommands:
         assert main(["table", "2"]) == 0
         out = capsys.readouterr().out
         assert "Titanic" in out and "48842" in out
+
+    def test_simulate_prints_report(self, capsys):
+        assert main(["simulate", "--sessions", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "population: 60 sessions" in out
+        assert "Outcomes" in out and "accepted" in out
+
+    def test_simulate_json_and_digest_guard(self, tmp_path, capsys):
+        path = str(tmp_path / "report.json")
+        assert main(["simulate", "--sessions", "40", "--seed", "2",
+                     "--json", path]) == 0
+        import json
+
+        def _reject_constant(token):  # NaN/Infinity are not valid JSON
+            raise AssertionError(f"spec-invalid JSON token {token!r} in export")
+
+        payload = json.loads((tmp_path / "report.json").read_text(),
+                             parse_constant=_reject_constant)
+        assert payload["n_sessions"] == 40
+        digest = payload["digest"]
+        capsys.readouterr()
+        # Matching digest passes; a wrong one fails the process.
+        assert main(["simulate", "--sessions", "40", "--seed", "2",
+                     "--expect-digest", digest]) == 0
+        assert main(["simulate", "--sessions", "40", "--seed", "2",
+                     "--expect-digest", "deadbeefdeadbeef"]) == 1
+
+    def test_simulate_mix_parsing(self, capsys):
+        assert main(["simulate", "--sessions", "30", "--seed", "3",
+                     "--mix", "strategic:strategic=0.7,increase_price:strategic=0.3",
+                     "--cost", "none=0.8,linear:0.02=0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Strategy mix" in out
+        assert "increase_price/strategic" in out
 
     def test_bargain_prints_summary(self, capsys):
         # Uses the cached market from other tests when available; still
