@@ -21,8 +21,9 @@ Examples
 ::
 
     python -m repro bargain --dataset titanic --runs 5
-    python -m repro bargain --dataset credit --task increase_price
+    python -m repro bargain --dataset credit --task increase_price --jobs 4
     python -m repro simulate --sessions 10000 --preset titanic
+    python -m repro simulate --sessions 2000 --dataset credit --jobs 4
     python -m repro simulate --sessions 1000 --mix "strategic:strategic=0.8,increase_price:strategic=0.2"
     python -m repro table 3 --dataset adult
     python -m repro figure 2 --dataset titanic --csv-dir results/
@@ -36,6 +37,27 @@ import sys
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_oracle_options(parser: argparse.ArgumentParser) -> None:
+    """Oracle-factory knobs shared by commands that build real oracles."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for pre-bargaining VFL courses "
+                             "(0 = all cores; results are identical)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="gain-cache directory (default: "
+                             "$REPRO_ORACLE_CACHE or ~/.cache/repro/oracle)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent gain cache")
+
+
+def _oracle_cache(args: argparse.Namespace):
+    """The GainCache implied by --cache-dir/--no-cache (None if disabled)."""
+    if args.no_cache:
+        return None
+    from repro.oracle_factory import GainCache, default_cache_dir
+
+    return GainCache(args.cache_dir or default_cache_dir())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,16 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("perfect", "imperfect"))
     bargain.add_argument("--runs", type=int, default=1)
     bargain.add_argument("--seed", type=int, default=0)
+    _add_oracle_options(bargain)
 
     simulate = sub.add_parser(
         "simulate", help="run a population of concurrent bargaining sessions"
     )
     simulate.add_argument("--sessions", type=int, default=1000,
                           help="population size (default 1000)")
-    simulate.add_argument("--preset", default="synthetic",
+    simulate.add_argument("--preset", default=None,
                           choices=("synthetic", "titanic", "credit", "adult"),
-                          help="calibration anchor for the population")
+                          help="calibration anchor for the population "
+                               "(default: the --dataset name, else synthetic)")
+    simulate.add_argument("--dataset", default=None,
+                          choices=("titanic", "credit", "adult"),
+                          help="anchor the catalogue on a real pre-bargaining "
+                               "oracle: the factory runs one VFL course per "
+                               "bundle on this dataset")
+    simulate.add_argument("--base-model", default="random_forest",
+                          choices=("random_forest", "mlp"),
+                          help="base model for the --dataset oracle courses")
     simulate.add_argument("--seed", type=int, default=0)
+    _add_oracle_options(simulate)
     simulate.add_argument("--batch-size", type=int, default=1024,
                           help="scheduler batch width (outcomes are invariant)")
     simulate.add_argument("--mix", default=None, metavar="PAIRS",
@@ -100,9 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_bargain(args: argparse.Namespace) -> int:
-    from repro.experiments import get_market
+    from repro.experiments import get_market, market_is_cached
 
-    market = get_market(args.dataset, args.model, seed=args.seed)
+    fresh_build = not market_is_cached(args.dataset, args.model, seed=args.seed)
+    market = get_market(
+        args.dataset,
+        args.model,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_oracle_cache(args),
+    )
     outcomes = market.bargain_many(
         args.runs,
         base_seed=args.seed,
@@ -111,6 +151,11 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
         information=args.information,
     )
     accepted = [o for o in outcomes if o.accepted]
+    # Only a build that happened in this call has a report describing it;
+    # a market reused from the process cache would misreport.
+    report = getattr(market.oracle, "build_report", None)
+    if fresh_build and report is not None:
+        print(report.summary())
     print(f"market: {market.name} | catalogue {len(market.oracle)} bundles | "
           f"target dG* = {market.config.target_gain:.4f}")
     for i, o in enumerate(outcomes):
@@ -190,7 +235,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                         ("--bins", args.bins)):
         if value < 1:
             raise SystemExit(f"{name} must be >= 1, got {value}")
-    overrides: dict = {"preset": args.preset}
+    overrides: dict = {"preset": args.preset or args.dataset or "synthetic"}
     if args.mix:
         overrides["strategy_mix"] = _parse_mix(args.mix)
     if args.cost:
@@ -199,7 +244,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         spec = PopulationSpec(**overrides)
     except ValueError as exc:  # unknown strategy/cost kind, bad weight, ...
         raise SystemExit(f"invalid population spec: {exc}") from None
-    population = sample_population(spec, args.sessions, seed=args.seed)
+    if not args.dataset:
+        # These knobs only affect the pre-bargaining oracle build;
+        # silently ignoring them would let users believe they took
+        # effect on the synthetic-catalogue path.
+        ignored = []
+        if args.jobs != 1:
+            ignored.append("--jobs")
+        if args.cache_dir:
+            ignored.append("--cache-dir")
+        if args.no_cache:
+            ignored.append("--no-cache")
+        if args.base_model != "random_forest":
+            ignored.append("--base-model")
+        if ignored:
+            raise SystemExit(
+                f"{', '.join(ignored)} only apply with --dataset "
+                f"(no oracle is built for synthetic catalogues)"
+            )
+    oracle = None
+    if args.dataset:
+        # A real pre-bargaining oracle: the factory runs (or replays
+        # from cache) one VFL course per catalogued bundle.
+        from repro.experiments import get_market, market_is_cached
+
+        fresh_build = not market_is_cached(
+            args.dataset, args.base_model, seed=args.seed
+        )
+        market = get_market(
+            args.dataset,
+            args.base_model,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_oracle_cache(args),
+        )
+        oracle = market.oracle
+        report = getattr(oracle, "build_report", None)
+        if fresh_build and report is not None:
+            print(report.summary())
+    population = sample_population(
+        spec, args.sessions, seed=args.seed, oracle=oracle
+    )
     result = SessionPool(population, batch_size=args.batch_size).run()
     report = build_report(population, result, n_bins=args.bins)
     print(report.to_text())

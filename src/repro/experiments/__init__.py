@@ -10,7 +10,12 @@ from repro.experiments.aggregate import (
 from repro.experiments.config import BASE_MODELS, DATASETS, ExperimentScale, scale
 from repro.experiments.figures import figure1_series, figure23_series, figure4_series
 from repro.experiments.report import ascii_chart, format_table, write_csv
-from repro.experiments.runner import clear_market_cache, get_market, round_matrix
+from repro.experiments.runner import (
+    clear_market_cache,
+    get_market,
+    market_is_cached,
+    round_matrix,
+)
 from repro.experiments.tables import (
     ablation_epsilon_rows,
     ablation_market_rows,
@@ -34,6 +39,7 @@ __all__ = [
     "figure4_series",
     "format_table",
     "get_market",
+    "market_is_cached",
     "histogram",
     "mean_ci",
     "mean_std",

@@ -8,9 +8,24 @@ from repro.experiments.config import scale
 from repro.market.engine import BargainOutcome
 from repro.market.market import Market
 
-__all__ = ["clear_market_cache", "get_market", "round_matrix"]
+__all__ = ["clear_market_cache", "get_market", "market_is_cached", "round_matrix"]
 
 _MARKET_CACHE: dict[tuple, Market] = {}
+
+
+def _market_key(dataset: str, base_model: str, seed: int) -> tuple:
+    return (dataset, base_model, seed, scale().name)
+
+
+def market_is_cached(
+    dataset: str, base_model: str = "random_forest", *, seed: int = 0
+) -> bool:
+    """Whether :func:`get_market` would return a cached market.
+
+    Lets callers (the CLI) distinguish a fresh oracle build — whose
+    build report describes the current invocation — from a reused one.
+    """
+    return _market_key(dataset, base_model, seed) in _MARKET_CACHE
 
 
 def get_market(
@@ -18,16 +33,24 @@ def get_market(
     base_model: str = "random_forest",
     *,
     seed: int = 0,
+    jobs: int = 1,
+    cache: object = None,
 ) -> Market:
     """Build (or reuse) the full market stack for one dataset/model.
 
     Oracle construction dominates experiment cost, so markets are
     cached per (dataset, model, seed, scale-tier) for the process
     lifetime — every figure/table for a given market shares one oracle,
-    exactly as the paper's platform pre-computes gains once.
+    exactly as the paper's platform pre-computes gains once.  ``jobs``
+    and ``cache`` reach the oracle factory on a cold build; they do not
+    enter the cache key because they cannot change the market.  A hit
+    therefore also skips persistence: passing ``cache`` for a market
+    this process already built without one writes nothing to disk (the
+    oracle keeps only mean gains, not the per-repeat course results the
+    gain cache stores) — pass ``cache`` on the first build.
     """
     tier = scale()
-    key = (dataset, base_model, seed, tier.name)
+    key = _market_key(dataset, base_model, seed)
     if key not in _MARKET_CACHE:
         _MARKET_CACHE[key] = Market.for_dataset(
             dataset,
@@ -35,6 +58,8 @@ def get_market(
             quick=tier.quick,
             seed=seed,
             n_bundles=tier.n_bundles,
+            jobs=jobs,
+            cache=cache,
         )
     return _MARKET_CACHE[key]
 

@@ -77,12 +77,16 @@ class Market:
         n_bundles: int | None = None,
         config_overrides: dict | None = None,
         model_params: dict | None = None,
+        jobs: int = 1,
+        cache: object = None,
     ) -> "Market":
         """Build the full market stack for one of the paper's datasets.
 
         ``quick=True`` uses reduced sample counts so the platform's
         pre-bargaining VFL sweeps finish in seconds; ``quick=False``
-        restores paper-scale rows.
+        restores paper-scale rows.  ``jobs`` and ``cache`` go to the
+        oracle factory (worker processes / persistent gain cache); the
+        resulting market is identical for every combination.
         """
         preset = preset_for(dataset_name)
         n_samples = preset.quick_n_samples if quick else preset.full_n_samples
@@ -105,6 +109,8 @@ class Market:
             base_model=base_model,
             model_params=params,
             seed=seed,
+            jobs=jobs,
+            cache=cache,
         )
         reserved = cost_based_reserved_prices(
             catalogue,

@@ -20,7 +20,17 @@ from repro.market.bundle import FeatureBundle
 from repro.utils.validation import require
 from repro.vfl.runner import isolated_performance, run_vfl
 
-__all__ = ["MemoisedOracle", "PerformanceOracle"]
+__all__ = ["MemoisedOracle", "PerformanceOracle", "repeat_course_seeds"]
+
+
+def repeat_course_seeds(seed: object, n_repeats: int) -> list[object]:
+    """Per-repeat course seeds: repeat 0 keeps the root seed verbatim.
+
+    The single source of the derivation — the serial reference path,
+    the oracle factory's course grid, and its cache fingerprints all
+    key off these values, so they must never drift apart.
+    """
+    return [seed if r == 0 else f"{seed}/{r}" for r in range(n_repeats)]
 
 
 class PerformanceOracle:
@@ -61,6 +71,8 @@ class PerformanceOracle:
         model_params: dict | None = None,
         seed: object = 0,
         n_repeats: int = 1,
+        jobs: int = 1,
+        cache: object = None,
     ) -> "PerformanceOracle":
         """Run VFL courses per bundle (the platform's pre-training).
 
@@ -68,15 +80,55 @@ class PerformanceOracle:
         seeded training runs — the platform reduces evaluation noise so
         the disclosed gains are not winner's-curse inflated across the
         catalogue.
+
+        Delegates to :func:`repro.oracle_factory.factory.build_oracle`:
+        shared incremental binning, optional process parallelism
+        (``jobs``) and an optional persistent gain ``cache`` (a
+        :class:`~repro.oracle_factory.cache.GainCache` or a directory
+        path).  Gains are bit-identical to
+        :meth:`build_serial_reference` for every ``jobs``/``cache``
+        combination; the returned oracle carries a ``build_report``
+        attribute with timings and cache statistics.
+        """
+        from repro.oracle_factory.factory import build_oracle
+
+        oracle, _ = build_oracle(
+            dataset,
+            bundles,
+            base_model=base_model,
+            model_params=model_params,
+            seed=seed,
+            n_repeats=n_repeats,
+            jobs=jobs,
+            cache=cache,
+        )
+        return oracle
+
+    @classmethod
+    def build_serial_reference(
+        cls,
+        dataset: PartitionedDataset,
+        bundles: list[FeatureBundle],
+        *,
+        base_model: str = "random_forest",
+        model_params: dict | None = None,
+        seed: object = 0,
+        n_repeats: int = 1,
+    ) -> "PerformanceOracle":
+        """The seed serial build: one from-scratch VFL course per cell.
+
+        Kept verbatim as the semantic reference for the oracle factory —
+        equivalence tests and ``benchmarks/bench_oracle_build.py`` pin
+        :meth:`build` against it, course for course.
         """
         require(bool(bundles), "oracle needs at least one bundle")
         require(n_repeats >= 1, "n_repeats must be >= 1")
-        repeats = [(r, seed if r == 0 else f"{seed}/{r}") for r in range(n_repeats)]
+        seeds = repeat_course_seeds(seed, n_repeats)
         m0s = [
             isolated_performance(
                 dataset, base_model=base_model, model_params=model_params, seed=s
             )
-            for _, s in repeats
+            for s in seeds
         ]
         gains: dict[FeatureBundle, float] = {}
         for bundle in bundles:
@@ -89,7 +141,7 @@ class PerformanceOracle:
                     seed=s,
                     m0=m0,
                 ).delta_g
-                for (_, s), m0 in zip(repeats, m0s)
+                for s, m0 in zip(seeds, m0s)
             ]
             gains[bundle] = float(np.mean(values))
         return cls(

@@ -115,21 +115,38 @@ class SetEmbeddingRegressor:
         self.optimizer = Adam(params, lr=lr)
         self.n_updates_ = 0
 
-    def _validate_sets(self, index_sets: list[object]) -> list[np.ndarray]:
-        batch = []
-        for ix in index_sets:
-            arr = np.asarray(list(ix), dtype=np.int64)
-            require(arr.size > 0, "bundles must be non-empty")
-            require(
-                arr.min() >= 0 and arr.max() < self.n_items,
-                f"feature ids must be in [0, {self.n_items})",
-            )
-            batch.append(arr)
-        return batch
+    def validate_set(self, indices: object) -> np.ndarray:
+        """One index set checked and converted to an ``int64`` array.
 
-    def partial_fit(self, index_sets: list[object], y: object, *, steps: int = 1) -> float:
+        Callers that keep a replay buffer validate each set once on
+        arrival and pass ``validate=False`` on later rounds, so the
+        per-round cost tracks the buffer *growth*, not its size.
+        """
+        arr = np.asarray(list(indices), dtype=np.int64)
+        require(arr.size > 0, "bundles must be non-empty")
+        require(
+            arr.min() >= 0 and arr.max() < self.n_items,
+            f"feature ids must be in [0, {self.n_items})",
+        )
+        return arr
+
+    def _validate_sets(
+        self, index_sets: list[object], validate: bool
+    ) -> list[np.ndarray]:
+        if not validate:
+            return index_sets  # already validated int64 arrays
+        return [self.validate_set(ix) for ix in index_sets]
+
+    def partial_fit(
+        self,
+        index_sets: list[object],
+        y: object,
+        *,
+        steps: int = 1,
+        validate: bool = True,
+    ) -> float:
         """Run ``steps`` gradient updates on (bundle, ΔG) pairs; returns final loss."""
-        batch = self._validate_sets(index_sets)
+        batch = self._validate_sets(index_sets, validate)
         y = check_vector(y)
         require(len(batch) == y.shape[0], "index_sets and y length mismatch")
         loss = float("nan")
@@ -144,13 +161,19 @@ class SetEmbeddingRegressor:
             self.n_updates_ += 1
         return loss
 
-    def predict(self, index_sets: list[object]) -> np.ndarray:
+    def predict(
+        self, index_sets: list[object], *, validate: bool = True
+    ) -> np.ndarray:
         """Predicted ΔG for each bundle."""
-        batch = self._validate_sets(index_sets)
+        batch = self._validate_sets(index_sets, validate)
         pooled = self.embedding.forward(batch)
         return self.trunk.forward(pooled).reshape(-1)
 
-    def mse(self, index_sets: list[object], y: object) -> float:
+    def mse(
+        self, index_sets: list[object], y: object, *, validate: bool = True
+    ) -> float:
         """Mean squared error on held-out pairs."""
         y = check_vector(y)
-        return float(np.mean((self.predict(index_sets) - y) ** 2))
+        return float(
+            np.mean((self.predict(index_sets, validate=validate) - y) ** 2)
+        )

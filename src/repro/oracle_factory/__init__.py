@@ -1,0 +1,41 @@
+"""Fast construction of pre-bargaining performance oracles (§3.4).
+
+The trading platform must run one VFL course per catalogued bundle
+before bargaining starts.  Done naively that is a serial loop of
+from-scratch courses — re-binning the same columns, re-training the
+same isolated baseline, and re-paying protocol overhead per bundle.
+This package is the platform's *course factory*; it produces gains that
+are **bit-identical** to the serial reference path
+(:meth:`repro.market.oracle.PerformanceOracle.build_serial_reference`)
+while being several times faster on one core and embarrassingly
+parallel across cores:
+
+* :mod:`~repro.oracle_factory.designs` — bin the parties' full feature
+  matrices **once**; every bundle's design is a column slice
+  (quantile edges are per-column, so slicing is exact);
+* :mod:`~repro.oracle_factory.course` — a fused histogram-CART course
+  kernel that exploits the test-pinned losslessness of the federated
+  forest protocol to replay courses centrally, bit-for-bit;
+* :mod:`~repro.oracle_factory.factory` — the scheduler: serial or
+  process-parallel course execution (``jobs``), per-bundle timings,
+  and a :class:`BuildReport`;
+* :mod:`~repro.oracle_factory.cache` — a persistent content-addressed
+  gain cache so finished courses are never recomputed across runs.
+"""
+
+from repro.oracle_factory.cache import CacheStats, GainCache, default_cache_dir
+from repro.oracle_factory.course import FastForestCourse
+from repro.oracle_factory.designs import SharedDesigns, slice_design
+from repro.oracle_factory.factory import BuildReport, CourseRunner, build_oracle
+
+__all__ = [
+    "BuildReport",
+    "CacheStats",
+    "CourseRunner",
+    "FastForestCourse",
+    "GainCache",
+    "SharedDesigns",
+    "build_oracle",
+    "default_cache_dir",
+    "slice_design",
+]

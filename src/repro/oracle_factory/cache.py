@@ -1,0 +1,214 @@
+"""Persistent, content-addressed cache of pre-bargaining course results.
+
+The platform's courses are pure functions of ``(data, base model,
+resolved params, seed, repeat, bundle)``.  The cache keys a JSON file
+per *configuration* — a SHA-256 fingerprint of the dataset name + data
+digest, base model, resolved model params, root seed and library cache
+version — and stores raw per-repeat performances inside it:
+
+* ``isolated``: repeat index -> M0 (the task party's solo accuracy);
+* ``bundles``: bundle label -> repeat index -> joint accuracy M.
+
+Storing raw ``M`` values (not ΔG) keys repeats individually, so a
+re-run with a larger ``n_repeats`` reuses every finished repeat and
+only trains the new ones.  Floats survive the JSON round-trip exactly
+(shortest-repr), so warm-cache oracles are bit-identical to cold ones.
+
+Any change to a key component changes the fingerprint and lands in a
+different file — that *is* the invalidation story.  Corrupted or
+incompatible files are treated as empty and rewritten.  Writes are
+atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset
+
+try:  # POSIX-only; on other platforms stores fall back to unlocked merges
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+@contextlib.contextmanager
+def _entry_lock(path: str):
+    """Advisory exclusive lock serialising writers of one cache entry."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = path + ".lock"
+    with open(lock_path, "w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+__all__ = ["CacheStats", "GainCache", "dataset_digest", "default_cache_dir"]
+
+_CACHE_VERSION = 1
+
+
+def _well_typed(repeats: object) -> bool:
+    """``{repeat_index: numeric course result}`` — nothing else."""
+    return isinstance(repeats, dict) and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in repeats.values()
+    )
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_ORACLE_CACHE`` or ``~/.cache/repro/oracle``."""
+    env = os.environ.get("REPRO_ORACLE_CACHE")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "oracle")
+
+
+def dataset_digest(dataset: PartitionedDataset) -> str:
+    """SHA-256 over the arrays a course actually consumes.
+
+    Covers the party matrices, labels and the train/test row split —
+    regenerating a dataset with different rows, preprocessing or
+    partitioning changes the digest and therefore the cache key.
+    """
+    h = hashlib.sha256()
+    for arr in (
+        dataset.X_task,
+        dataset.X_data,
+        dataset.y,
+        dataset.train_idx,
+        dataset.test_idx,
+    ):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one build."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for reports and JSON artifacts."""
+        return {"hits": self.hits, "misses": self.misses}
+
+
+@dataclass
+class GainCache:
+    """On-disk course-result cache rooted at ``directory``."""
+
+    directory: str = field(default_factory=default_cache_dir)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(
+        dataset: PartitionedDataset,
+        *,
+        base_model: str,
+        model_params: dict,
+        seed: object,
+    ) -> str:
+        """Configuration fingerprint (bundle and repeat live inside the file)."""
+        key = {
+            "version": _CACHE_VERSION,
+            "dataset": dataset.name,
+            "digest": dataset_digest(dataset),
+            "base_model": base_model,
+            "model_params": {k: model_params[k] for k in sorted(model_params)},
+            "seed": repr(seed),
+        }
+        blob = json.dumps(key, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint[:2], f"{fingerprint}.json")
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str) -> dict:
+        """The stored entry for ``fingerprint`` (empty skeleton if absent).
+
+        Unreadable, corrupted, version-mismatched, or wrongly-typed
+        files are treated as empty — the next :meth:`store` rewrites
+        them wholesale.  Validation goes down to the course values, so
+        a half-rotted-but-valid-JSON file cannot crash later builds.
+        """
+        empty = {"version": _CACHE_VERSION, "isolated": {}, "bundles": {}}
+        path = self._path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return empty
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != _CACHE_VERSION
+            or not _well_typed(entry.get("isolated"))
+            or not isinstance(entry.get("bundles"), dict)
+            or not all(_well_typed(v) for v in entry["bundles"].values())
+        ):
+            return empty
+        return entry
+
+    def store(self, fingerprint: str, entry: dict) -> None:
+        """Atomically persist ``entry``, merging with what is on disk.
+
+        Concurrent builds under the same fingerprint each write only
+        courses they ran; merging the current file's results first
+        (ours win on overlap — course results are deterministic, so
+        overlapping values are equal anyway) keeps last-writer-wins
+        from discarding another process's finished courses.  An
+        advisory file lock (where the platform provides one) closes the
+        load-merge-replace window between concurrent writers.
+        """
+        path = self._path(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with _entry_lock(path):
+            self._merge_and_replace(fingerprint, entry)
+
+    def _merge_and_replace(self, fingerprint: str, entry: dict) -> None:
+        current = self.load(fingerprint)
+        merged_isolated = {**current["isolated"], **entry["isolated"]}
+        merged_bundles = {
+            label: {**current["bundles"].get(label, {}), **repeats}
+            for label, repeats in entry["bundles"].items()
+        }
+        for label, repeats in current["bundles"].items():
+            merged_bundles.setdefault(label, repeats)
+        entry = {
+            "version": _CACHE_VERSION,
+            "isolated": merged_isolated,
+            "bundles": merged_bundles,
+        }
+        path = self._path(fingerprint)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -303,34 +303,56 @@ class Population:
 
 
 def sample_population(
-    spec: PopulationSpec, n_sessions: int, *, seed: int = 0
+    spec: PopulationSpec,
+    n_sessions: int,
+    *,
+    seed: int = 0,
+    oracle: PerformanceOracle | None = None,
 ) -> Population:
     """Draw ``n_sessions`` heterogeneous sessions in one vectorised pass.
 
     Every random quantity comes from a named :func:`repro.utils.rng.spawn`
     stream under ``seed``, so the population is bit-reproducible and
     independent of how the pool later batches it.
+
+    ``oracle`` anchors the population on a *real* pre-bargaining oracle
+    (e.g. one the oracle factory built from a dataset's VFL courses):
+    its catalogue and ΔG values replace the synthetic ones —
+    ``spec.n_features``/``spec.n_bundles`` are ignored — and sessions
+    query that oracle during bargaining.
     """
     require(n_sessions >= 1, "n_sessions must be >= 1")
     cfg = spec.base_config()
     scale = _GAIN_SCALE[spec.preset]
 
-    # Shared catalogue: bundle sizes drive gains (diminishing returns)
-    # with idiosyncratic quality noise, mirroring the paper's oracles.
-    bundles = sample_bundles(
-        spec.n_features,
-        spec.n_bundles,
-        rng=spawn(seed, "population", "bundles"),
-        min_size=1,
-    )
-    sizes = np.array([b.size for b in bundles], dtype=float)
-    gain_rng = spawn(seed, "population", "gains")
-    gains = (
-        scale
-        * (sizes / spec.n_features) ** 0.7
-        * np.exp(gain_rng.normal(0.0, 0.25, size=len(bundles)))
-    )
-    gains = np.maximum(gains, 0.02 * scale)
+    if oracle is not None:
+        # Real catalogue: the platform already ran the VFL courses.
+        bundles = list(oracle.bundles)
+        catalogue = oracle.gains()
+        gains = np.asarray([catalogue[b] for b in bundles], dtype=float)
+        require(
+            float(gains.max()) > 0,
+            "oracle-backed population needs at least one positive-gain bundle",
+        )
+        sizes = np.array([b.size for b in bundles], dtype=float)
+    else:
+        # Shared catalogue: bundle sizes drive gains (diminishing
+        # returns) with idiosyncratic quality noise, mirroring the
+        # paper's oracles.
+        bundles = sample_bundles(
+            spec.n_features,
+            spec.n_bundles,
+            rng=spawn(seed, "population", "bundles"),
+            min_size=1,
+        )
+        sizes = np.array([b.size for b in bundles], dtype=float)
+        gain_rng = spawn(seed, "population", "gains")
+        gains = (
+            scale
+            * (sizes / spec.n_features) ** 0.7
+            * np.exp(gain_rng.normal(0.0, 0.25, size=len(bundles)))
+        )
+        gains = np.maximum(gains, 0.02 * scale)
 
     # Per-session reserved prices: the cost-plus-value model of
     # pricing.cost_based_reserved_prices, vectorised across sessions.
@@ -368,7 +390,10 @@ def sample_population(
     # Snap targets to order statistics of the catalogue: an interpolated
     # quantile falls *between* bundle gains, leaving no bundle within
     # ε of the turning point, so no session could ever settle there.
-    sorted_gains = np.sort(gains)
+    # Only positive gains are viable targets (real oracles can carry
+    # negative-ΔG bundles; synthetic catalogues are all-positive, so
+    # this filter leaves them untouched).
+    sorted_gains = np.sort(gains[gains > 0])
     target = sorted_gains[
         np.round(quantiles * (len(sorted_gains) - 1)).astype(int)
     ]
@@ -417,4 +442,5 @@ def sample_population(
         cost_idx=cost_idx,
         cost_kind=cost_kind,
         cost_a=cost_a,
+        oracle=oracle,
     )

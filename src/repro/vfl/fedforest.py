@@ -28,7 +28,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import BinnedDesign, best_split, node_histograms, quantile_bin
+from repro.ml.tree import (
+    BinnedDesign,
+    best_split,
+    node_histograms,
+    quantile_bin,
+    resolve_max_features,
+)
 from repro.utils.rng import as_generator, spawn
 from repro.utils.validation import require
 from repro.vfl.channel import Channel, Message
@@ -48,11 +54,29 @@ class _DataPartySplitService:
     opaque node uids to (local feature, threshold) pairs.
     """
 
-    def __init__(self, data_party: DataParty, bundle: np.ndarray, max_bins: int):
+    def __init__(
+        self,
+        data_party: DataParty,
+        bundle: np.ndarray,
+        max_bins: int,
+        *,
+        design: BinnedDesign | None = None,
+    ):
         self.party = data_party
         self.bundle = bundle
         self.X_bundle = data_party.bundle_view(bundle)
-        self.design = quantile_bin(self.X_bundle[data_party.train_idx], max_bins=max_bins)
+        if design is None:
+            design = quantile_bin(
+                self.X_bundle[data_party.train_idx], max_bins=max_bins
+            )
+        else:
+            # A pre-binned design (a column slice of the party's full
+            # binned matrix — exact, since quantile edges are per-column).
+            require(
+                design.n_features == bundle.shape[0],
+                "pre-binned data design column count must match the bundle",
+            )
+        self.design = design
         self.split_table: dict[int, tuple[int, float]] = {}
 
     def histograms(
@@ -106,11 +130,7 @@ class FederatedTree:
         self.value_: list[float] = []
 
     def _resolve_max_features(self, d: int) -> int:
-        if self.max_features is None:
-            return d
-        if self.max_features == "sqrt":
-            return max(1, int(np.sqrt(d)))
-        return int(self.max_features)
+        return resolve_max_features(self.max_features, d)
 
     def fit(
         self,
@@ -298,12 +318,29 @@ class FederatedForest:
         data: DataParty,
         bundle: object,
         channel: Channel,
+        *,
+        task_design: BinnedDesign | None = None,
+        data_design: BinnedDesign | None = None,
     ) -> "FederatedForest":
-        """Train the forest over the channel on the given feature bundle."""
+        """Train the forest over the channel on the given feature bundle.
+
+        ``task_design``/``data_design`` let callers that run many
+        courses (the oracle factory) bin each party's full matrix once
+        and pass per-course column slices instead of re-binning here;
+        the fitted forest is identical either way.
+        """
         bundle = np.asarray(list(bundle), dtype=np.int64)
         require(bundle.size >= 1, "bundle must contain at least one feature")
-        service = _DataPartySplitService(data, bundle, self.max_bins)
-        task_design = quantile_bin(task.X_train, max_bins=self.max_bins)
+        service = _DataPartySplitService(
+            data, bundle, self.max_bins, design=data_design
+        )
+        if task_design is None:
+            task_design = quantile_bin(task.X_train, max_bins=self.max_bins)
+        else:
+            require(
+                task_design.n_features == task.d,
+                "pre-binned task design column count must match the task party",
+            )
         n = task.y_train.shape[0]
         self.trees_ = []
         for t in range(self.n_estimators):

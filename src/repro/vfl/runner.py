@@ -23,7 +23,13 @@ from repro.vfl.fedforest import FederatedForest
 from repro.vfl.parties import parties_from_dataset
 from repro.vfl.splitnn import SplitNN
 
-__all__ = ["BASE_MODELS", "VFLResult", "isolated_performance", "run_vfl"]
+__all__ = [
+    "BASE_MODELS",
+    "VFLResult",
+    "isolated_performance",
+    "resolve_model_params",
+    "run_vfl",
+]
 
 BASE_MODELS = ("random_forest", "mlp")
 
@@ -70,6 +76,17 @@ def _merged(defaults: dict, overrides: dict | None) -> dict:
     return params
 
 
+def resolve_model_params(base_model: str, overrides: dict | None = None) -> dict:
+    """Protocol defaults merged with ``overrides`` (rejecting unknown keys).
+
+    The resolved dict is what a course actually trains with — the
+    oracle factory fingerprints it for its persistent gain cache.
+    """
+    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    defaults = _RF_DEFAULTS if base_model == "random_forest" else _MLP_DEFAULTS
+    return _merged(defaults, overrides)
+
+
 def isolated_performance(
     dataset: PartitionedDataset,
     *,
@@ -112,6 +129,8 @@ def run_vfl(
     seed: object = 0,
     channel: Channel | None = None,
     m0: float | None = None,
+    task_design: object = None,
+    data_design: object = None,
 ) -> VFLResult:
     """Execute one VFL course and measure the performance gain.
 
@@ -132,8 +151,19 @@ def run_vfl(
     m0:
         Pre-computed isolated performance (skips retraining the
         baseline — the bargaining engine caches it).
+    task_design / data_design:
+        Pre-binned :class:`~repro.ml.tree.BinnedDesign` objects for the
+        task party's training features and the data party's *bundle*
+        columns (training rows).  The oracle factory bins each party's
+        full matrix once and passes column slices here, skipping the
+        per-course re-bin; results are identical either way.  Only
+        meaningful for ``base_model="random_forest"``.
     """
     require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    require(
+        base_model == "random_forest" or (task_design is None and data_design is None),
+        "pre-binned designs only apply to the random_forest protocol",
+    )
     bundle = tuple(int(i) for i in bundle)
     require(len(bundle) >= 1, "bundle must contain at least one feature")
     task, data = parties_from_dataset(dataset)
@@ -153,7 +183,14 @@ def run_vfl(
             max_bins=params["max_bins"],
             rng=rng,
         )
-        forest.fit(task, data, bundle, channel)
+        forest.fit(
+            task,
+            data,
+            bundle,
+            channel,
+            task_design=task_design,
+            data_design=data_design,
+        )
         m = forest.score(task.test_idx, task.y_test.astype(np.int64), channel)
     else:
         params = _merged(_MLP_DEFAULTS, model_params)

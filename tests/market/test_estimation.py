@@ -99,3 +99,135 @@ class TestDataGainEstimator:
         for i in range(4):
             est.observe(FeatureBundle.of([i]), 0.01 * i)
         assert len(est.mse_history) == 4
+
+    def test_bad_bundle_rejected_on_observe(self):
+        est = DataGainEstimator(5, rng=spawn(4, "g"))
+        with pytest.raises(ValueError, match="feature ids"):
+            est.observe(FeatureBundle.of([7]), 0.01)
+
+
+class _RebuildTaskEstimator:
+    """The pre-incremental implementation: rebuild + re-normalise the
+    whole replay buffer every round.  Kept as the semantic reference
+    for the O(buffer growth) fast path."""
+
+    def __init__(self, *, train_passes=8, rng=None):
+        from repro.ml.nn.regressor import MLPRegressor
+
+        self.model = MLPRegressor(
+            4, (64, 32, 16), lr=5e-3, rng=spawn(rng, "task_estimator")
+        )
+        self.train_passes = train_passes
+        self._quotes, self._gains, self.mse_history = [], [], []
+
+    def observe(self, quote, delta_g):
+        self._quotes.append((*quote.as_tuple(), quote.turning_point))
+        self._gains.append(float(delta_g))
+        ref = np.asarray(self._quotes, dtype=np.float64)
+        mean, std = ref.mean(axis=0), ref.std(axis=0)
+        std = np.where(std < 1e-9, 1.0, std)
+        X = (ref - mean) / std
+        y = np.asarray(self._gains)
+        self.model.partial_fit(X, y, steps=self.train_passes)
+        self.mse_history.append(self.model.mse(X, y))
+
+
+class _RebuildDataEstimator:
+    """Pre-incremental reference for the bundle estimator."""
+
+    def __init__(self, n_features, *, train_passes=8, rng=None):
+        from repro.ml.nn.regressor import SetEmbeddingRegressor
+
+        self.model = SetEmbeddingRegressor(
+            n_features, embed_dim=16, hidden=(64, 32, 16), lr=5e-3,
+            rng=spawn(rng, "data_estimator"),
+        )
+        self.train_passes = train_passes
+        self._bundles, self._gains, self.mse_history = [], [], []
+
+    def observe(self, bundle, delta_g):
+        self._bundles.append(bundle)
+        self._gains.append(float(delta_g))
+        sets = [list(b) for b in self._bundles]
+        y = np.asarray(self._gains)
+        self.model.partial_fit(sets, y, steps=self.train_passes)
+        self.mse_history.append(self.model.mse(sets, y))
+
+
+class TestIncrementalBufferEquivalence:
+    """The incremental replay buffers must track the rebuild-everything
+    reference bit for bit: same raw samples, same two-pass moments,
+    same gradient trajectories."""
+
+    def test_task_mse_history_matches_reference_exactly(self):
+        rng = spawn(0, "equiv")
+        fast = TaskGainEstimator(rng=9)
+        ref = _RebuildTaskEstimator(rng=9)
+        quotes, gains = synthetic_price_gain(rng, n=60)
+        for q, g in zip(quotes, gains):
+            fast.observe(q, g)
+            ref.observe(q, g)
+        assert fast.mse_history == ref.mse_history
+        assert fast.n_observations == 60
+
+    def test_task_predictions_match_reference_exactly(self):
+        rng = spawn(1, "equiv")
+        fast = TaskGainEstimator(rng=5)
+        ref = _RebuildTaskEstimator(rng=5)
+        quotes, gains = synthetic_price_gain(rng, n=40)
+        for q, g in zip(quotes, gains):
+            fast.observe(q, g)
+            ref.observe(q, g)
+        probe = quotes[:8]
+        ref_arr = np.asarray(
+            [(*q.as_tuple(), q.turning_point) for q in probe], dtype=np.float64
+        )
+        buf = np.asarray(ref._quotes, dtype=np.float64)
+        mean, std = buf.mean(axis=0), buf.std(axis=0)
+        std = np.where(std < 1e-9, 1.0, std)
+        expected = ref.model.predict((ref_arr - mean) / std)
+        np.testing.assert_array_equal(fast.predict(probe), expected)
+
+    def test_task_large_offset_feature_normalised_correctly(self):
+        """Large-magnitude, tiny-spread features must not lose their
+        std to cancellation (the failure mode of running sum-of-squares
+        moments)."""
+        est = TaskGainEstimator(rng=2, train_passes=1)
+        rng = spawn(5, "offset")
+        for _ in range(30):
+            base = 1.0e6 + float(rng.normal(0.0, 1e-4))
+            est.observe(QuotedPrice(rate=8.0, base=base, cap=base + 1.0), 0.1)
+        # std of the 'base' feature is ~1e-4, far above the 1e-9 fallback
+        # threshold; the two-pass moment must find it.
+        assert est._std[1] < 1.0e-2
+        assert est._std[1] > 1.0e-9
+
+    def test_data_mse_history_matches_reference_exactly(self):
+        # No normalisation on the bundle path: trajectories are equal
+        # bit for bit.
+        rng = spawn(2, "equiv")
+        fast = DataGainEstimator(10, rng=4)
+        ref = _RebuildDataEstimator(10, rng=4)
+        for _ in range(50):
+            size = int(rng.integers(1, 5))
+            bundle = FeatureBundle.of(rng.choice(10, size=size, replace=False))
+            g = 0.01 * len(bundle) + float(rng.normal(0, 0.002))
+            fast.observe(bundle, g)
+            ref.observe(bundle, g)
+        assert fast.mse_history == ref.mse_history
+
+    def test_task_buffer_growth_beyond_initial_capacity(self):
+        rng = spawn(3, "equiv")
+        est = TaskGainEstimator(rng=1, train_passes=1)
+        quotes, gains = synthetic_price_gain(rng, n=140)  # > 2x capacity 64
+        for q, g in zip(quotes, gains):
+            est.observe(q, g)
+        assert est.n_observations == 140
+        assert len(est.mse_history) == 140
+
+    def test_data_buffer_growth_beyond_initial_capacity(self):
+        rng = spawn(4, "equiv")
+        est = DataGainEstimator(8, rng=1, train_passes=1)
+        for i in range(140):
+            est.observe(FeatureBundle.of([i % 8]), 0.01)
+        assert est.n_observations == 140

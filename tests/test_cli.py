@@ -31,8 +31,34 @@ class TestParser:
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.sessions == 1000
-        assert args.preset == "synthetic"
+        assert args.preset is None  # resolved to dataset name or synthetic
+        assert args.dataset is None
         assert args.batch_size == 1024
+        assert args.jobs == 1
+        assert not args.no_cache
+
+    def test_oracle_options_parse(self):
+        args = build_parser().parse_args(
+            ["bargain", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.cache_dir == "/tmp/c"
+        args = build_parser().parse_args(
+            ["simulate", "--dataset", "credit", "--base-model", "mlp", "--jobs", "2"]
+        )
+        assert args.dataset == "credit"
+        assert args.base_model == "mlp"
+        assert args.jobs == 2
+
+    def test_simulate_oracle_flags_require_dataset(self):
+        # Oracle knobs on the synthetic path would be silently inert.
+        for argv in (["simulate", "--sessions", "5", "--jobs", "4"],
+                     ["simulate", "--sessions", "5", "--no-cache"],
+                     ["simulate", "--sessions", "5", "--cache-dir", "/tmp/c"],
+                     ["simulate", "--sessions", "5", "--base-model", "mlp"]):
+            with pytest.raises(SystemExit, match="only apply with --dataset"):
+                main(argv)
 
     def test_simulate_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
@@ -118,7 +144,26 @@ class TestCommands:
     def test_bargain_prints_summary(self, capsys):
         # Uses the cached market from other tests when available; still
         # bounded by quick-mode market construction otherwise.
-        assert main(["bargain", "--runs", "2", "--seed", "1"]) == 0
+        assert main(["bargain", "--runs", "2", "--seed", "1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "market: titanic/random_forest" in out
         assert "run 0:" in out and "run 1:" in out
+
+    def test_simulate_with_real_dataset_oracle(self, tmp_path, capsys):
+        """End-to-end: --dataset routes the population through a
+        factory-built oracle (and the preset anchors to the dataset)."""
+        from repro.experiments import clear_market_cache
+
+        argv = ["simulate", "--sessions", "40", "--seed", "1",
+                "--dataset", "titanic", "--cache-dir", str(tmp_path)]
+        clear_market_cache()  # force a cold factory build
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "oracle build:" in out
+        assert "population: 40 sessions" in out
+        # A fresh process (simulated by dropping the in-process market
+        # cache) replays every course from the persistent gain cache.
+        clear_market_cache()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 courses run" in out
