@@ -1,0 +1,108 @@
+"""Service-layer session throughput: SessionManager vs naive deployment.
+
+The claim under test: serving bargaining sessions through the service
+layer — one :class:`~repro.service.manager.MarketPool` build shared by
+every session the :class:`~repro.service.manager.SessionManager`
+brokers — is **>= 5x** more session throughput than the naive
+deployment, where each session stands up its own market
+(``Market.from_spec`` + ``bargain``), i.e. pays the pre-bargaining VFL
+oracle build per negotiation.
+
+Both paths play the *same* games (identical per-run seed streams), so
+the comparison also pins outcome equality, not just speed.  Quick mode
+(default) times the naive path on a few sessions and extrapolates
+per-session cost; ``REPRO_FULL=1`` runs the naive loop for every
+session.  Writes ``benchmarks/results/service_sessions.json`` (and
+``.csv``) for the CI artifact.
+"""
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.experiments import write_csv
+from repro.market.market import Market
+from repro.service import MarketPool, MarketSpec, SessionManager, SessionSpec
+from repro.utils.rng import spawn
+
+N_SESSIONS = 60
+SEED = 0
+SPEEDUP_FLOOR = 5.0
+
+
+def _spec() -> MarketSpec:
+    # No persistent cache on either path: the naive deployment must pay
+    # the full pre-bargaining build per session, which is the point.
+    return MarketSpec(dataset="titanic", seed=SEED, no_cache=True)
+
+
+def _run_managed(n: int):
+    pool = MarketPool()
+    manager = SessionManager(pool=pool)
+    spec = _spec()
+    outcomes = []
+    for run in range(n):
+        session_id = manager.open_session(
+            SessionSpec(market=spec, seed=SEED, run=run)
+        )
+        manager.run(session_id)
+        outcomes.append(manager.outcome(session_id))
+        manager.close(session_id)
+    return outcomes
+
+
+def test_service_session_throughput(benchmark, results_dir):
+    full = os.environ.get("REPRO_FULL", "0") == "1"
+    n_naive = N_SESSIONS if full else 3
+
+    t0 = time.perf_counter()
+    managed = run_once(benchmark, _run_managed, N_SESSIONS)
+    managed_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    naive = []
+    for run in range(n_naive):
+        market = Market.from_spec(_spec())  # fresh build, every session
+        naive.append(market.bargain(seed=spawn(SEED, "run", run)))
+    naive_elapsed = time.perf_counter() - t0
+
+    naive_per_session = naive_elapsed / n_naive
+    managed_per_session = managed_elapsed / N_SESSIONS
+    speedup = naive_per_session / managed_per_session
+
+    print()
+    print(f"naive deployment: {n_naive} sessions in {naive_elapsed:.2f}s "
+          f"({1.0 / naive_per_session:.2f} sessions/s; market built per session)")
+    print(f"SessionManager  : {N_SESSIONS} sessions in {managed_elapsed:.2f}s "
+          f"({1.0 / managed_per_session:.2f} sessions/s; one pooled market)")
+    print(f"speedup         : {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+
+    payload = {
+        "n_sessions": N_SESSIONS,
+        "n_naive": n_naive,
+        "naive_sessions_per_sec": 1.0 / naive_per_session,
+        "managed_sessions_per_sec": 1.0 / managed_per_session,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+        "accepted": sum(o.accepted for o in managed),
+    }
+    with open(os.path.join(results_dir, "service_sessions.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    write_csv(
+        os.path.join(results_dir, "service_sessions.csv"),
+        ["n_sessions", "naive_sessions_per_sec",
+         "managed_sessions_per_sec", "speedup"],
+        [[N_SESSIONS], [payload["naive_sessions_per_sec"]],
+         [payload["managed_sessions_per_sec"]], [speedup]],
+    )
+
+    # The service must play the naive deployment's exact games...
+    for run, outcome in enumerate(naive):
+        assert managed[run].status == outcome.status
+        assert managed[run].n_rounds == outcome.n_rounds
+        assert managed[run].payment == outcome.payment
+    # ...and beat it by the architectural margin, not a rounding one.
+    assert speedup >= SPEEDUP_FLOOR

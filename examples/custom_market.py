@@ -1,82 +1,158 @@
-"""Building a market over your own catalogue (no built-in dataset).
+"""Extending the marketplace: register a custom dataset + strategy.
 
-The `Market` facade also accepts hand-built components, which is how a
-real deployment would wire the library onto its own VFL measurements:
-supply a ΔG catalogue (here: measured offline and passed to
-``PerformanceOracle.from_gains``), reserved prices, and a
-``MarketConfig``.  The example also demonstrates the equilibrium theory
-utilities: Theorem 3.1's outcome-preserving quote transform and the
-Eq. 5 check on the final deal.
+A real deployment does not wire `Market` objects by hand — it registers
+its components once and then drives everything through the typed
+service API (the same path `python -m repro bargain` and the
+`repro serve` HTTP front door use).  This example proves that extension
+path end to end:
+
+1. ``@register_dataset("acme_scores", ...)`` — a synthetic credit-score
+   book built on the library's generator framework, with its own
+   :class:`MarketPreset` calibration.  The registration alone makes
+   ``--dataset acme_scores`` valid in the CLI, in ``MarketSpec``
+   validation, and as a ``simulate --preset`` anchor.
+2. ``@register_task_strategy("thrifty", ...)`` — a buyer that targets
+   the 75th-percentile gain instead of the best bundle on sale.
+   ``--task thrifty`` (and ``SessionSpec(task="thrifty")``) now work
+   everywhere, including the population simulator's ``--mix``.
+3. A ``MarketSpec``/``SessionSpec`` session through
+   :class:`~repro.service.manager.SessionManager`, plus the Eq. 5
+   equilibrium check on the final deal.
 
 Run:  python examples/custom_market.py
 """
 
 import numpy as np
 
+from repro.data.schema import Column, ColumnKind, Schema
+from repro.data.synthetic.base import (
+    RawDataset,
+    labels_from_score,
+    numeric_column,
+)
+from repro.data.table import Table
 from repro.market import (
-    FeatureBundle,
-    Market,
     MarketConfig,
-    PerformanceOracle,
-    ReservedPrice,
-    equivalent_quote,
+    MarketPreset,
+    StrategicTaskParty,
     is_equilibrium_price,
-    task_net_profit,
+)
+from repro.service import (
+    MarketSpec,
+    SessionManager,
+    SessionSpec,
+    register_dataset,
+    register_task_strategy,
+)
+from repro.utils.rng import spawn
+
+# ----------------------------------------------------------------------
+# 1. A custom dataset: ACME's credit-score book.  Three task-party
+#    columns (what the buyer already holds) and seven data-party
+#    columns of varying label signal — the structure the market prices.
+# ----------------------------------------------------------------------
+ACME_SCHEMA = Schema.of(
+    [Column(f"task_{i}", ColumnKind.NUMERIC) for i in range(3)]
+    + [Column(f"score_{i}", ColumnKind.NUMERIC) for i in range(7)],
+    label="default",
+    name="acme_scores",
+)
+
+_ACME_PRESET = MarketPreset(
+    config=MarketConfig(
+        utility_rate=400.0,
+        budget=4.0,
+        initial_rate=5.0,
+        initial_base=0.85,
+        eps_d=1e-3,
+        eps_t=1e-3,
+    ),
+    reserved_price_params={
+        "rate_floor": 4.0,
+        "rate_per_feature": 0.30,
+        "base_floor": 0.60,
+        "base_per_feature": 0.04,
+        "rate_value": 2.0,
+        "base_value": 0.25,
+        "rate_noise": 0.20,
+        "base_noise": 0.02,
+    },
+    n_bundles=10,
+    quick_n_samples=320,
+    full_n_samples=320,
+    rf_params={"n_estimators": 6, "max_depth": 5},
 )
 
 
+@register_dataset(
+    "acme_scores", preset=_ACME_PRESET, gain_scale=0.10, overwrite=True
+)
+def load_acme_scores(n_samples: int | None = None, *, seed: int = 0) -> RawDataset:
+    """Synthesise ACME's book: a wealth latent drives every column."""
+    n = n_samples or 320
+    rng = spawn(seed, "acme_scores", "raw")
+    latent = rng.normal(0.0, 1.0, n)
+    columns: dict[str, np.ndarray] = {}
+    score = np.zeros(n)
+    for i, column in enumerate(ACME_SCHEMA):
+        # Later data-party columns carry progressively more signal, so
+        # bigger traded bundles genuinely gain more.
+        rho = 0.3 + 0.06 * i
+        values = numeric_column(rng, latent, rho=rho)
+        columns[column.name] = values
+        score += (0.12 * i) * values
+    y = labels_from_score(rng, score, positive_rate=0.3)
+    return RawDataset(
+        name="acme_scores",
+        table=Table(columns),
+        schema=ACME_SCHEMA,
+        y=y,
+        task_columns=tuple(c.name for c in ACME_SCHEMA)[:3],
+        data_columns=tuple(c.name for c in ACME_SCHEMA)[3:],
+        n_original_features=len(ACME_SCHEMA),
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. A custom buyer strategy: same Eq. 5 machinery, thriftier target.
+# ----------------------------------------------------------------------
+@register_task_strategy("thrifty", overwrite=True)
+def thrifty_buyer(ctx) -> StrategicTaskParty:
+    """Target the 75th-percentile gain — cheaper deals, lower ceiling."""
+    gains = sorted(g for g in ctx.gains.values() if g > 0)
+    target = gains[int(round(0.75 * (len(gains) - 1)))]
+    config = ctx.config.with_overrides(target_gain=float(target))
+    return StrategicTaskParty(
+        config, list(ctx.gains.values()), cost_model=ctx.cost_model, rng=ctx.rng
+    )
+
+
 def main() -> None:
-    # Your own measurements: bundle -> relative performance gain.
-    rng = np.random.default_rng(0)
-    gains = {}
-    reserved = {}
-    for i in range(15):
-        bundle = FeatureBundle.of(range(i + 1))
-        quality = (i + 1) / 15
-        gains[bundle] = round(0.12 * quality + rng.uniform(0, 0.004), 4)
-        reserved[bundle] = ReservedPrice(
-            rate=4.0 + 3.0 * quality + rng.uniform(0, 0.2),
-            base=0.6 + 0.5 * quality + rng.uniform(0, 0.03),
+    manager = SessionManager()
+    market_spec = MarketSpec(dataset="acme_scores", seed=0, no_cache=True)
+    market = manager.market(market_spec)
+    print(f"registered market: {market.name} | {len(market.oracle)} bundles | "
+          f"target dG* = {market.config.target_gain:.4f}")
+
+    for task in ("strategic", "thrifty"):
+        session_id = manager.open_session(
+            SessionSpec(market=market_spec, task=task, seed=0)
         )
-
-    config = MarketConfig(
-        utility_rate=400.0,
-        budget=4.0,
-        initial_rate=4.6,
-        initial_base=0.72,
-        target_gain=max(gains.values()),
-        eps_d=1e-3,
-        eps_t=1e-3,
-    )
-    market = Market(
-        oracle=PerformanceOracle.from_gains(gains),
-        reserved_prices=reserved,
-        config=config,
-        name="custom",
-    )
-
-    outcome = market.bargain(seed=0)
-    print(f"custom market: {outcome.status} after {outcome.n_rounds} rounds")
-    if not outcome.accepted:
-        print("  no deal this run; try another seed")
-        return
-    print(f"  final quote {outcome.quote}, dG = {outcome.delta_g:.4f}")
-
-    # Eq. 5: at settlement, the turning point coincides with the gain.
-    print(f"  equilibrium (Eq. 5) satisfied within eps: "
-          f"{is_equilibrium_price(outcome.quote, outcome.delta_g, tolerance=2e-3)}")
-
-    # Theorem 3.1: tighten any quote's cap to the realised gain without
-    # changing either party's payoff.
-    loose = outcome.quote.with_cap(outcome.quote.cap + 1.0)
-    tight = equivalent_quote(loose, outcome.delta_g)
-    u = config.utility_rate
-    print("  Theorem 3.1 transform:")
-    print(f"    loose quote {loose} -> tight {tight}")
-    print(f"    payment {loose.payment(outcome.delta_g):.3f} == "
-          f"{tight.payment(outcome.delta_g):.3f}")
-    print(f"    net profit {task_net_profit(loose, outcome.delta_g, u):.2f} == "
-          f"{task_net_profit(tight, outcome.delta_g, u):.2f}")
+        status = manager.run(session_id)
+        outcome = manager.outcome(session_id)
+        print(f"  task={task:<10} {status['outcome']['status']:<9} "
+              f"rounds={outcome.n_rounds:<4}", end="")
+        if outcome.accepted:
+            print(f" dG={outcome.delta_g:.4f} payment={outcome.payment:.3f} "
+                  f"net={outcome.net_profit:.2f}")
+            # Eq. 5: at settlement, the turning point coincides with
+            # the realised gain (within the termination tolerance).
+            print(f"    equilibrium (Eq. 5) within eps: "
+                  f"{is_equilibrium_price(outcome.quote, outcome.delta_g, tolerance=2e-3)}")
+        else:
+            print()
+        manager.close(session_id)
+    print(f"service report: {manager.report()['outcomes']}")
 
 
 if __name__ == "__main__":

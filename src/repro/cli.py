@@ -1,15 +1,27 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
+Every command is a thin spec-constructor over the service layer
+(:mod:`repro.service`): choices come from the live registries, the
+arguments become a typed :class:`~repro.service.specs.MarketSpec` /
+:class:`~repro.service.specs.SessionSpec` /
+:class:`~repro.service.specs.SimulationSpec`, and execution goes
+through the shared market pool and
+:class:`~repro.service.manager.SessionManager` — the same machinery
+``python -m repro serve`` exposes over HTTP.
+
 Commands
 --------
 ``bargain``
-    Play bargaining games on one of the paper's markets and print the
-    outcome summary (the quickstart example, parameterised).
+    Play bargaining games on one of the registered markets and print
+    the outcome summary (the quickstart example, parameterised).
 ``simulate``
     Run a population of heterogeneous bargaining sessions through the
     :class:`repro.simulate.SessionPool` scheduler and print the
     aggregate report (acceptance rate, rounds, payment/net-profit
     histograms, throughput).
+``serve``
+    Serve the marketplace as a JSON HTTP API (markets, sessions,
+    stepping) on top of one warm market pool.
 ``table``
     Regenerate one of the paper's tables (2, 3 or 4).
 ``figure``
@@ -25,6 +37,7 @@ Examples
     python -m repro simulate --sessions 10000 --preset titanic
     python -m repro simulate --sessions 2000 --dataset credit --jobs 4
     python -m repro simulate --sessions 1000 --mix "strategic:strategic=0.8,increase_price:strategic=0.2"
+    python -m repro serve --port 8765
     python -m repro table 3 --dataset adult
     python -m repro figure 2 --dataset titanic --csv-dir results/
 """
@@ -35,6 +48,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from repro.service import registry
 
 __all__ = ["build_parser", "main"]
 
@@ -61,7 +76,16 @@ def _oracle_cache(args: argparse.Namespace):
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The repro argument parser (exposed for tests and docs)."""
+    """The repro argument parser (exposed for tests and docs).
+
+    All ``choices=`` tuples are sourced from the service registries —
+    registering a dataset, base model, strategy or cost kind makes it
+    appear here (and in spec validation, and in the simulator's mix
+    parser) with no CLI changes.
+    """
+    datasets = registry.dataset_names()
+    vfl_datasets = registry.dataset_names(include_synthetic=False)
+    base_models = registry.base_model_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bargaining-based VFL feature market (Cui et al., ICDE 2025).",
@@ -69,14 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     bargain = sub.add_parser("bargain", help="play bargaining games on a market")
-    bargain.add_argument("--dataset", default="titanic",
-                         choices=("titanic", "credit", "adult"))
-    bargain.add_argument("--model", default="random_forest",
-                         choices=("random_forest", "mlp"))
+    bargain.add_argument("--dataset", default="titanic", choices=datasets)
+    bargain.add_argument("--model", default="random_forest", choices=base_models)
     bargain.add_argument("--task", default="strategic",
-                         choices=("strategic", "increase_price"))
+                         choices=registry.task_strategy_names())
     bargain.add_argument("--data", default="strategic",
-                         choices=("strategic", "random_bundle"))
+                         choices=registry.data_strategy_names())
     bargain.add_argument("--information", default="perfect",
                          choices=("perfect", "imperfect"))
     bargain.add_argument("--runs", type=int, default=1)
@@ -89,16 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--sessions", type=int, default=1000,
                           help="population size (default 1000)")
     simulate.add_argument("--preset", default=None,
-                          choices=("synthetic", "titanic", "credit", "adult"),
+                          choices=registry.preset_names(),
                           help="calibration anchor for the population "
                                "(default: the --dataset name, else synthetic)")
-    simulate.add_argument("--dataset", default=None,
-                          choices=("titanic", "credit", "adult"),
+    simulate.add_argument("--dataset", default=None, choices=vfl_datasets,
                           help="anchor the catalogue on a real pre-bargaining "
                                "oracle: the factory runs one VFL course per "
                                "bundle on this dataset")
     simulate.add_argument("--base-model", default="random_forest",
-                          choices=("random_forest", "mlp"),
+                          choices=base_models,
                           help="base model for the --dataset oracle courses")
     simulate.add_argument("--seed", type=int, default=0)
     _add_oracle_options(simulate)
@@ -116,48 +137,61 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--expect-digest", default=None, metavar="HEX",
                           help="fail unless the report digest matches (CI guard)")
 
+    serve = sub.add_parser(
+        "serve", help="serve the marketplace as a JSON HTTP API"
+    )
+    from repro.service.server import add_serve_arguments
+
+    add_serve_arguments(serve)
+
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 4))
-    table.add_argument("--dataset", default="titanic",
-                       choices=("titanic", "credit", "adult"))
-    table.add_argument("--model", default="random_forest",
-                       choices=("random_forest", "mlp"))
+    table.add_argument("--dataset", default="titanic", choices=vfl_datasets)
+    table.add_argument("--model", default="random_forest", choices=base_models)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 2, 3, 4))
-    figure.add_argument("--dataset", default="titanic",
-                        choices=("titanic", "credit", "adult"))
+    figure.add_argument("--dataset", default="titanic", choices=vfl_datasets)
     figure.add_argument("--csv-dir", default=None,
                         help="also write the series as CSV files here")
     return parser
 
 
 def _cmd_bargain(args: argparse.Namespace) -> int:
-    from repro.experiments import get_market, market_is_cached
+    from repro.experiments import market_is_cached, spec_for
+    from repro.service import SessionManager, SessionSpec
 
-    fresh_build = not market_is_cached(args.dataset, args.model, seed=args.seed)
-    market = get_market(
+    spec = spec_for(
         args.dataset,
         args.model,
         seed=args.seed,
         jobs=args.jobs,
         cache=_oracle_cache(args),
     )
-    outcomes = market.bargain_many(
-        args.runs,
-        base_seed=args.seed,
-        task=args.task,
-        data=args.data,
-        information=args.information,
-    )
-    accepted = [o for o in outcomes if o.accepted]
+    fresh_build = not market_is_cached(spec)
+    manager = SessionManager()
+    market = manager.market(spec)
     # Only a build that happened in this call has a report describing it;
-    # a market reused from the process cache would misreport.
+    # a market reused from the process pool would misreport.
     report = getattr(market.oracle, "build_report", None)
     if fresh_build and report is not None:
         print(report.summary())
     print(f"market: {market.name} | catalogue {len(market.oracle)} bundles | "
           f"target dG* = {market.config.target_gain:.4f}")
+    outcomes = []
+    for i in range(args.runs):
+        session_id = manager.open_session(SessionSpec(
+            market=spec,
+            task=args.task,
+            data=args.data,
+            information=args.information,
+            seed=args.seed,
+            run=i,
+        ))
+        manager.run(session_id)
+        outcomes.append(manager.outcome(session_id))
+        manager.close(session_id)
+    accepted = [o for o in outcomes if o.accepted]
     for i, o in enumerate(outcomes):
         line = (f"run {i}: {o.status:<10} rounds={o.n_rounds:<4}")
         if o.accepted:
@@ -193,25 +227,41 @@ def _parse_mix(text: str) -> tuple[tuple[str, str, float], ...]:
 
 
 def _parse_cost(text: str) -> tuple[tuple[str, float, float], ...]:
-    """``'none=0.7,linear:0.05=0.3'`` -> cost_mix triples."""
+    """``'none=0.7,linear:0.05=0.3'`` -> cost_mix triples.
+
+    Whether a kind takes a parameter comes from the cost registry;
+    unknown kinds are parsed permissively here and rejected by spec
+    validation with the full list of registered kinds.
+    """
     entries = []
     for part in text.split(","):
         spec, _, weight = part.strip().partition("=")
         kind, _, a = spec.partition(":")
         kind = kind.strip()
-        if kind != "none" and not a:
+        if kind not in registry.COSTS:
+            # Pass unknown kinds straight through so spec validation
+            # rejects them by name (with the registered-kind list)
+            # instead of a misleading parameter-shape complaint here.
+            entries.append((kind,
+                            _float(a, f"--cost parameter in {part!r}") if a
+                            else 0.0,
+                            _float(weight, f"--cost weight in {part!r}")
+                            if weight else 1.0))
+            continue
+        takes_parameter = registry.COSTS.get(kind).takes_parameter
+        if takes_parameter and not a:
             # Defaulting a missing parameter would silently flip the
             # sessions into cost-aware (Eq. 6/7) acceptance mode.
             raise SystemExit(
                 f"bad --cost entry {part!r}: {kind!r} needs a parameter "
                 f"(expected {kind}:a=weight)"
             )
-        if kind == "none" and a:
+        if not takes_parameter and a:
             # 'none:0.7' is the natural typo for 'none=0.7' — storing
             # 0.7 as an ignored parameter would silently skew the mix.
             raise SystemExit(
-                f"bad --cost entry {part!r}: 'none' takes no parameter "
-                f"(expected none=weight)"
+                f"bad --cost entry {part!r}: {kind!r} takes no parameter "
+                f"(expected {kind}=weight)"
             )
         entries.append((kind,
                         _float(a, f"--cost parameter in {part!r}") if a else 0.0,
@@ -223,25 +273,28 @@ def _parse_cost(text: str) -> tuple[tuple[str, float, float], ...]:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from dataclasses import asdict
 
-    from repro.simulate import (
-        PopulationSpec,
-        SessionPool,
-        build_report,
-        sample_population,
-    )
+    from repro.service import SimulationSpec, run_simulation
 
     for name, value in (("--sessions", args.sessions),
                         ("--batch-size", args.batch_size),
                         ("--bins", args.bins)):
         if value < 1:
             raise SystemExit(f"{name} must be >= 1, got {value}")
-    overrides: dict = {"preset": args.preset or args.dataset or "synthetic"}
-    if args.mix:
-        overrides["strategy_mix"] = _parse_mix(args.mix)
-    if args.cost:
-        overrides["cost_mix"] = _parse_cost(args.cost)
     try:
-        spec = PopulationSpec(**overrides)
+        sim = SimulationSpec(
+            sessions=args.sessions,
+            preset=args.preset,
+            dataset=args.dataset,
+            base_model=args.base_model,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            bins=args.bins,
+            strategy_mix=_parse_mix(args.mix) if args.mix else None,
+            cost_mix=_parse_cost(args.cost) if args.cost else None,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+        )
     except ValueError as exc:  # unknown strategy/cost kind, bad weight, ...
         raise SystemExit(f"invalid population spec: {exc}") from None
     if not args.dataset:
@@ -262,31 +315,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"{', '.join(ignored)} only apply with --dataset "
                 f"(no oracle is built for synthetic catalogues)"
             )
-    oracle = None
+    market_spec = None
     if args.dataset:
         # A real pre-bargaining oracle: the factory runs (or replays
         # from cache) one VFL course per catalogued bundle.
-        from repro.experiments import get_market, market_is_cached
+        from repro.experiments import market_is_cached, spec_for
+        from repro.service import shared_pool
 
-        fresh_build = not market_is_cached(
-            args.dataset, args.base_model, seed=args.seed
-        )
-        market = get_market(
+        market_spec = spec_for(
             args.dataset,
             args.base_model,
             seed=args.seed,
             jobs=args.jobs,
             cache=_oracle_cache(args),
         )
-        oracle = market.oracle
-        report = getattr(oracle, "build_report", None)
-        if fresh_build and report is not None:
-            print(report.summary())
-    population = sample_population(
-        spec, args.sessions, seed=args.seed, oracle=oracle
-    )
-    result = SessionPool(population, batch_size=args.batch_size).run()
-    report = build_report(population, result, n_bins=args.bins)
+        fresh_build = not market_is_cached(market_spec)
+        market = shared_pool().get(market_spec)
+        build_report = getattr(market.oracle, "build_report", None)
+        if fresh_build and build_report is not None:
+            print(build_report.summary())
+    population, result, report = run_simulation(sim, market_spec=market_spec)
     print(report.to_text())
     if args.json:
         import json
@@ -315,6 +363,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"expected {args.expect_digest}")
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    return run_server(
+        args.host,
+        args.port,
+        idle_ttl=args.idle_ttl,
+        max_sessions=args.max_sessions,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -383,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bargain(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "table":
         return _cmd_table(args)
     return _cmd_figure(args)

@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     get_market,
     market_is_cached,
     round_matrix,
+    spec_for,
 )
 from repro.experiments.tables import (
     ablation_epsilon_rows,
@@ -47,6 +48,7 @@ __all__ = [
     "round_matrix",
     "scale",
     "security_overhead_rows",
+    "spec_for",
     "table2_rows",
     "table3_rows",
     "table4_rows",

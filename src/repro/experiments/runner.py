@@ -1,4 +1,14 @@
-"""Shared experiment plumbing: cached markets and trace extraction."""
+"""Shared experiment plumbing: cached markets and trace extraction.
+
+Markets are pooled in the process-wide
+:func:`repro.service.manager.shared_pool`, keyed by the full
+:meth:`~repro.service.specs.MarketSpec.digest` — *including* the
+oracle-build execution knobs.  The old tuple key ignored
+``jobs``/``cache``, so a ``--no-cache`` run could silently reuse a
+process-cached market built under different persistence settings (and
+report stale build/cache statistics for it); keying on the spec digest
+makes every distinct build configuration its own pool entry.
+"""
 
 from __future__ import annotations
 
@@ -7,29 +17,79 @@ import numpy as np
 from repro.experiments.config import scale
 from repro.market.engine import BargainOutcome
 from repro.market.market import Market
+from repro.service.manager import shared_pool
+from repro.service.specs import MarketSpec
 
-__all__ = ["clear_market_cache", "get_market", "market_is_cached", "round_matrix"]
+__all__ = [
+    "clear_market_cache",
+    "get_market",
+    "market_is_cached",
+    "round_matrix",
+    "spec_for",
+]
 
-_MARKET_CACHE: dict[tuple, Market] = {}
+
+def spec_for(
+    dataset: str,
+    base_model: str = "random_forest",
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: object = None,
+) -> MarketSpec:
+    """The experiment-scale-aware :class:`MarketSpec` for one market.
+
+    Applies the active :func:`repro.experiments.config.scale` tier
+    (quick-mode rows, catalogue size) and normalises the legacy
+    ``cache`` argument (``None`` = no persistence, a directory path or
+    a :class:`~repro.oracle_factory.cache.GainCache`) into the spec's
+    serialisable ``cache_dir``/``no_cache`` fields.
+    """
+    tier = scale()
+    cache_dir = None
+    if cache is not None:
+        cache_dir = cache if isinstance(cache, str) else getattr(
+            cache, "directory", None
+        )
+    return MarketSpec(
+        dataset=dataset,
+        base_model=base_model,
+        seed=seed,
+        quick=tier.quick,
+        n_bundles=tier.n_bundles,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        no_cache=cache is None,
+    )
 
 
-def _market_key(dataset: str, base_model: str, seed: int) -> tuple:
-    return (dataset, base_model, seed, scale().name)
+def _as_spec(dataset, base_model, seed, jobs, cache) -> MarketSpec:
+    if isinstance(dataset, MarketSpec):
+        return dataset
+    return spec_for(dataset, base_model, seed=seed, jobs=jobs, cache=cache)
 
 
 def market_is_cached(
-    dataset: str, base_model: str = "random_forest", *, seed: int = 0
+    dataset: str | MarketSpec,
+    base_model: str = "random_forest",
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    cache: object = None,
 ) -> bool:
-    """Whether :func:`get_market` would return a cached market.
+    """Whether :func:`get_market` would return a pooled market.
 
     Lets callers (the CLI) distinguish a fresh oracle build — whose
     build report describes the current invocation — from a reused one.
+    Accepts either a :class:`MarketSpec` or the legacy positional
+    ``(dataset, base_model)`` form; the execution knobs are part of the
+    key, so they must match the subsequent :func:`get_market` call.
     """
-    return _market_key(dataset, base_model, seed) in _MARKET_CACHE
+    return shared_pool().contains(_as_spec(dataset, base_model, seed, jobs, cache))
 
 
 def get_market(
-    dataset: str,
+    dataset: str | MarketSpec,
     base_model: str = "random_forest",
     *,
     seed: int = 0,
@@ -39,34 +99,19 @@ def get_market(
     """Build (or reuse) the full market stack for one dataset/model.
 
     Oracle construction dominates experiment cost, so markets are
-    cached per (dataset, model, seed, scale-tier) for the process
-    lifetime — every figure/table for a given market shares one oracle,
-    exactly as the paper's platform pre-computes gains once.  ``jobs``
-    and ``cache`` reach the oracle factory on a cold build; they do not
-    enter the cache key because they cannot change the market.  A hit
-    therefore also skips persistence: passing ``cache`` for a market
-    this process already built without one writes nothing to disk (the
-    oracle keeps only mean gains, not the per-repeat course results the
-    gain cache stores) — pass ``cache`` on the first build.
+    pooled per spec digest for the process lifetime — every
+    figure/table for a given market shares one oracle, exactly as the
+    paper's platform pre-computes gains once.  Because the digest
+    covers ``jobs``/``cache`` too, a call with different oracle-build
+    settings gets its own (freshly built, then cached) market instead
+    of silently reusing one built under other settings.
     """
-    tier = scale()
-    key = _market_key(dataset, base_model, seed)
-    if key not in _MARKET_CACHE:
-        _MARKET_CACHE[key] = Market.for_dataset(
-            dataset,
-            base_model=base_model,
-            quick=tier.quick,
-            seed=seed,
-            n_bundles=tier.n_bundles,
-            jobs=jobs,
-            cache=cache,
-        )
-    return _MARKET_CACHE[key]
+    return shared_pool().get(_as_spec(dataset, base_model, seed, jobs, cache))
 
 
 def clear_market_cache() -> None:
-    """Drop cached markets (tests use this to control memory)."""
-    _MARKET_CACHE.clear()
+    """Drop pooled markets (tests use this to control memory)."""
+    shared_pool().clear()
 
 
 def round_matrix(

@@ -7,10 +7,17 @@ Typical use::
     outcome = market.bargain(task="increase_price", seed=0)  # baseline
     outcome = market.bargain(information="imperfect", seed=0)
 
-``for_dataset`` assembles the whole stack: synthetic dataset ->
+or, spec-first (what every service front door does)::
+
+    from repro.service import MarketSpec
+    market = Market.from_spec(MarketSpec(dataset="titanic"))
+
+``from_spec`` assembles the whole stack: registered dataset ->
 vertical partition -> bundle catalogue -> ΔG oracle (the trusted
 platform's pre-bargaining VFL runs) -> cost-based reserved prices ->
-calibrated :class:`~repro.market.config.MarketConfig`.
+calibrated :class:`~repro.market.config.MarketConfig`.  Datasets and
+party strategies resolve through :mod:`repro.service.registry`, so
+registered extensions plug into the facade with no changes here.
 """
 
 from __future__ import annotations
@@ -20,28 +27,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.partition import PartitionedDataset
-from repro.data.synthetic import load_dataset
 from repro.market.bundle import FeatureBundle, sample_bundles
 from repro.market.config import MarketConfig
 from repro.market.costs import CostModel
 from repro.market.engine import BargainingEngine, BargainOutcome
-from repro.market.oracle import PerformanceOracle
-from repro.market.presets import preset_for
+from repro.market.oracle import PerformanceOracle, synthetic_gains
 from repro.market.pricing import ReservedPrice, cost_based_reserved_prices
-from repro.market.strategies.baselines import (
-    IncreasePriceTaskParty,
-    RandomBundleDataParty,
-)
-from repro.market.strategies.data_party import StrategicDataParty
-from repro.market.strategies.imperfect import ImperfectDataParty, ImperfectTaskParty
-from repro.market.strategies.task_party import StrategicTaskParty
 from repro.utils.rng import spawn
 from repro.utils.validation import require
 
 __all__ = ["Market"]
 
-_TASK_STRATEGIES = ("strategic", "increase_price")
-_DATA_STRATEGIES = ("strategic", "random_bundle")
+_DEFAULT_CACHE = object()  # sentinel: "derive the gain cache from the spec"
+
+# Synthetic (catalogue-only) markets share the population sampler's
+# geometry: bundle sizes drive gains with diminishing returns.
+_SYNTHETIC_N_FEATURES = 12
 
 
 @dataclass
@@ -67,54 +68,52 @@ class Market:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def for_dataset(
-        cls,
-        dataset_name: str,
-        *,
-        base_model: str = "random_forest",
-        quick: bool = True,
-        seed: int = 0,
-        n_bundles: int | None = None,
-        config_overrides: dict | None = None,
-        model_params: dict | None = None,
-        jobs: int = 1,
-        cache: object = None,
-    ) -> "Market":
-        """Build the full market stack for one of the paper's datasets.
+    def from_spec(cls, spec, *, cache: object = _DEFAULT_CACHE) -> "Market":
+        """Build the full market stack described by a ``MarketSpec``.
 
-        ``quick=True`` uses reduced sample counts so the platform's
-        pre-bargaining VFL sweeps finish in seconds; ``quick=False``
-        restores paper-scale rows.  ``jobs`` and ``cache`` go to the
-        oracle factory (worker processes / persistent gain cache); the
-        resulting market is identical for every combination.
+        The dataset (and its preset calibration) resolves through the
+        service registry, so registered custom datasets build exactly
+        like the paper's three.  ``cache`` overrides the gain cache the
+        spec implies (``for_dataset`` threads its legacy argument
+        through); the resulting market is identical for every
+        ``jobs``/``cache`` combination.
         """
-        preset = preset_for(dataset_name)
-        n_samples = preset.quick_n_samples if quick else preset.full_n_samples
-        raw = load_dataset(dataset_name, seed=seed)
-        dataset = raw.prepare(seed=seed, n_subsample=n_samples)
-        catalogue = sample_bundles(
-            dataset.d_data,
-            n_bundles or preset.n_bundles,
-            rng=spawn(seed, dataset_name, "bundles"),
-            min_size=1,
-        )
-        params = dict(
-            preset.rf_params if base_model == "random_forest" else preset.mlp_params
-        )
-        if model_params:
-            params.update(model_params)
-        oracle = PerformanceOracle.build(
-            dataset,
-            catalogue,
-            base_model=base_model,
-            model_params=params,
-            seed=seed,
-            jobs=jobs,
-            cache=cache,
-        )
+        entry = spec.entry()
+        preset = entry.preset
+        seed = spec.seed
+        n_bundles = spec.n_bundles or preset.n_bundles
+        if entry.synthetic:
+            oracle = cls._synthetic_oracle(spec.dataset, entry, n_bundles, seed)
+            dataset = None
+        else:
+            from repro.service.registry import BASE_MODELS
+
+            n_samples = (
+                preset.quick_n_samples if spec.quick else preset.full_n_samples
+            )
+            raw = entry.loader(seed=seed)
+            dataset = raw.prepare(seed=seed, n_subsample=n_samples)
+            catalogue = sample_bundles(
+                dataset.d_data,
+                n_bundles,
+                rng=spawn(seed, spec.dataset, "bundles"),
+                min_size=1,
+            )
+            params = BASE_MODELS.get(spec.base_model).preset_params(preset)
+            if spec.model_params:
+                params.update(spec.model_params)
+            oracle = PerformanceOracle.build(
+                dataset,
+                catalogue,
+                base_model=spec.base_model,
+                model_params=params,
+                seed=seed,
+                jobs=spec.jobs,
+                cache=spec.cache() if cache is _DEFAULT_CACHE else cache,
+            )
         reserved = cost_based_reserved_prices(
-            catalogue,
-            rng=spawn(seed, dataset_name, "reserved"),
+            oracle.bundles,
+            rng=spawn(seed, spec.dataset, "reserved"),
             gains={b: g for b, g in oracle.gains().items()},
             **preset.reserved_price_params,
         )
@@ -128,7 +127,7 @@ class Market:
                     config.target_quantile,
                 )
             )
-            require(target > 0, f"{dataset_name}: no bundle yields a positive gain")
+            require(target > 0, f"{spec.dataset}: no bundle yields a positive gain")
             # Keep escalation headroom above the opening cap: the min-cap
             # concession step scales with (budget - cap), so a budget too
             # close to the eventual settlement price makes the end-game
@@ -138,71 +137,146 @@ class Market:
                 target_gain=target,
                 budget=max(config.budget, 2.0 * opening_cap),
             )
-        if config_overrides:
-            config = config.with_overrides(**config_overrides)
+        if spec.config_overrides:
+            config = config.with_overrides(**spec.config_overrides)
         return cls(
             oracle=oracle,
             reserved_prices=reserved,
             config=config,
-            name=f"{dataset_name}/{base_model}",
+            name=f"{spec.dataset}/{spec.base_model}"
+            if not entry.synthetic
+            else spec.dataset,
             dataset=dataset,
-            n_data_features=dataset.d_data,
+            n_data_features=dataset.d_data if dataset is not None
+            else _SYNTHETIC_N_FEATURES,
         )
+
+    @classmethod
+    def _synthetic_oracle(
+        cls, name: str, entry, n_bundles: int, seed: int
+    ) -> PerformanceOracle:
+        """A catalogue-only oracle: no dataset, no VFL courses.
+
+        Mirrors the population sampler's synthetic catalogue model —
+        bundle sizes drive gains with diminishing returns and
+        idiosyncratic quality noise at the entry's ``gain_scale``.
+        """
+        bundles = sample_bundles(
+            _SYNTHETIC_N_FEATURES,
+            n_bundles,
+            rng=spawn(seed, name, "bundles"),
+            min_size=1,
+        )
+        gains = synthetic_gains(
+            np.array([b.size for b in bundles], dtype=float),
+            n_features=_SYNTHETIC_N_FEATURES,
+            scale=entry.gain_scale,
+            rng=spawn(seed, name, "gains"),
+        )
+        return PerformanceOracle.from_gains(
+            {b: float(g) for b, g in zip(bundles, gains)}
+        )
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset_name: str,
+        *,
+        base_model: str = "random_forest",
+        quick: bool = True,
+        seed: int = 0,
+        n_bundles: int | None = None,
+        config_overrides: dict | None = None,
+        model_params: dict | None = None,
+        jobs: int = 1,
+        cache: object = None,
+    ) -> "Market":
+        """Build the full market stack for a registered dataset.
+
+        Legacy keyword front door over :meth:`from_spec`.  ``quick=True``
+        uses reduced sample counts so the platform's pre-bargaining VFL
+        sweeps finish in seconds; ``quick=False`` restores paper-scale
+        rows.  ``jobs`` and ``cache`` go to the oracle factory (worker
+        processes / persistent gain cache); the resulting market is
+        identical for every combination.
+        """
+        from repro.service.specs import MarketSpec
+
+        spec = MarketSpec(
+            dataset=dataset_name.lower(),
+            base_model=base_model,
+            seed=seed,
+            quick=quick,
+            n_bundles=n_bundles,
+            model_params=model_params,
+            config_overrides=config_overrides,
+            jobs=jobs,
+            no_cache=cache is None,
+        )
+        # `cache` may be an arbitrary GainCache object; thread it
+        # through verbatim rather than round-tripping a directory path.
+        return cls.from_spec(spec, cache=cache)
 
     # ------------------------------------------------------------------
     # Bargaining
     # ------------------------------------------------------------------
-    def _build_engine(
+    def build_engine(
         self,
-        task: str,
-        data: str,
-        information: str,
-        seed: object,
-        cost_task: CostModel | None,
-        cost_data: CostModel | None,
-        config: MarketConfig,
+        *,
+        task: str = "strategic",
+        data: str = "strategic",
+        information: str = "perfect",
+        seed: object = 0,
+        cost_task: CostModel | None = None,
+        cost_data: CostModel | None = None,
+        config_overrides: dict | None = None,
     ) -> BargainingEngine:
-        gains = {b: self.oracle._gains[b] for b in self.oracle.bundles}
+        """Stand up one session's engine (strategies are single-use).
+
+        ``task``/``data`` name registered party strategies
+        (:mod:`repro.service.registry`); ``information="imperfect"``
+        selects the estimator-guided pair for both sides (§3.5).  This
+        is the seam the :class:`~repro.service.manager.SessionManager`
+        brokers sessions through.
+        """
+        require(
+            information in ("perfect", "imperfect"),
+            "information must be 'perfect' or 'imperfect'",
+        )
+        from repro.service.registry import (
+            StrategyContext,
+            build_data_strategy,
+            build_task_strategy,
+        )
+
+        config = self.config
+        if config_overrides:
+            config = config.with_overrides(**config_overrides)
         if information == "imperfect":
-            task_strategy = ImperfectTaskParty(
-                config, rng=spawn(seed, "task", self.name)
-            )
-            data_strategy = ImperfectDataParty(
-                list(gains),
-                self.reserved_prices,
-                config,
-                self.n_data_features,
-                rng=spawn(seed, "data", self.name),
-            )
-            return BargainingEngine(
-                task_strategy,
-                data_strategy,
-                self.oracle,
-                utility_rate=config.utility_rate,
-                cost_task=cost_task,
-                cost_data=cost_data,
+            task, data = "imperfect", "imperfect"
+        gains = {b: self.oracle._gains[b] for b in self.oracle.bundles}
+        task_strategy = build_task_strategy(
+            task,
+            StrategyContext(
+                config=config,
+                gains=gains,
                 reserved_prices=self.reserved_prices,
-                max_rounds=config.max_rounds,
-            )
-        require(task in _TASK_STRATEGIES, f"task must be one of {_TASK_STRATEGIES}")
-        require(data in _DATA_STRATEGIES, f"data must be one of {_DATA_STRATEGIES}")
-        known = list(gains.values())
-        if task == "strategic":
-            task_strategy: object = StrategicTaskParty(
-                config, known, cost_model=cost_task, rng=spawn(seed, "task", self.name)
-            )
-        else:
-            task_strategy = IncreasePriceTaskParty(
-                config, known, rng=spawn(seed, "task", self.name)
-            )
-        if data == "strategic":
-            data_strategy: object = StrategicDataParty(
-                gains, self.reserved_prices, config, cost_model=cost_data
-            )
-        else:
-            data_strategy = RandomBundleDataParty(
-                gains, self.reserved_prices, config, rng=spawn(seed, "data", self.name)
-            )
+                n_features=self.n_data_features,
+                cost_model=cost_task,
+                rng=spawn(seed, "task", self.name),
+            ),
+        )
+        data_strategy = build_data_strategy(
+            data,
+            StrategyContext(
+                config=config,
+                gains=gains,
+                reserved_prices=self.reserved_prices,
+                n_features=self.n_data_features,
+                cost_model=cost_data,
+                rng=spawn(seed, "data", self.name),
+            ),
+        )
         return BargainingEngine(
             task_strategy,
             data_strategy,
@@ -226,15 +300,14 @@ class Market:
         config_overrides: dict | None = None,
     ) -> BargainOutcome:
         """Play one bargaining game and return its outcome."""
-        require(
-            information in ("perfect", "imperfect"),
-            "information must be 'perfect' or 'imperfect'",
-        )
-        config = self.config
-        if config_overrides:
-            config = config.with_overrides(**config_overrides)
-        engine = self._build_engine(
-            task, data, information, seed, cost_task, cost_data, config
+        engine = self.build_engine(
+            task=task,
+            data=data,
+            information=information,
+            seed=seed,
+            cost_task=cost_task,
+            cost_data=cost_data,
+            config_overrides=config_overrides,
         )
         return engine.run()
 

@@ -20,7 +20,32 @@ from repro.market.bundle import FeatureBundle
 from repro.utils.validation import require
 from repro.vfl.runner import isolated_performance, run_vfl
 
-__all__ = ["MemoisedOracle", "PerformanceOracle", "repeat_course_seeds"]
+__all__ = [
+    "MemoisedOracle",
+    "PerformanceOracle",
+    "repeat_course_seeds",
+    "synthetic_gains",
+]
+
+
+def synthetic_gains(
+    sizes: np.ndarray, *, n_features: int, scale: float, rng: np.random.Generator
+) -> np.ndarray:
+    """The synthetic catalogue gain model: sizes drive gains.
+
+    Bundle sizes yield diminishing returns with idiosyncratic quality
+    noise at magnitude ``scale``, mirroring real oracles' landscapes.
+    The single definition shared by catalogue-only markets
+    (:meth:`repro.market.market.Market.from_spec`) and the population
+    sampler (:func:`repro.simulate.population.sample_population`), so
+    the two can never drift apart.
+    """
+    gains = (
+        scale
+        * (np.asarray(sizes, dtype=float) / n_features) ** 0.7
+        * np.exp(rng.normal(0.0, 0.25, size=len(sizes)))
+    )
+    return np.maximum(gains, 0.02 * scale)
 
 
 def repeat_course_seeds(seed: object, n_repeats: int) -> list[object]:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.partition import PartitionedDataset
+from repro.utils.canonical import content_digest
 
 try:  # POSIX-only; on other platforms stores fall back to unlocked merges
     import fcntl
@@ -55,7 +56,11 @@ def _entry_lock(path: str):
 
 __all__ = ["CacheStats", "GainCache", "dataset_digest", "default_cache_dir"]
 
-_CACHE_VERSION = 1
+# v2: fingerprints hash the library-wide canonical JSON form
+# (repro.utils.canonical — compact separators), replacing the ad-hoc
+# json.dumps serialisation of v1.  The bump makes the invalidation of
+# v1 entries deliberate rather than a silent byproduct.
+_CACHE_VERSION = 2
 
 
 def _well_typed(repeats: object) -> bool:
@@ -125,7 +130,12 @@ class GainCache:
         model_params: dict,
         seed: object,
     ) -> str:
-        """Configuration fingerprint (bundle and repeat live inside the file)."""
+        """Configuration fingerprint (bundle and repeat live inside the file).
+
+        Hashed through the same :func:`repro.utils.canonical.content_digest`
+        canonical form as the service layer's spec digests, so every
+        content-addressed key in the stack shares one serialisation rule.
+        """
         key = {
             "version": _CACHE_VERSION,
             "dataset": dataset.name,
@@ -134,8 +144,7 @@ class GainCache:
             "model_params": {k: model_params[k] for k in sorted(model_params)},
             "seed": repr(seed),
         }
-        blob = json.dumps(key, sort_keys=True).encode("utf-8")
-        return hashlib.sha256(blob).hexdigest()
+        return content_digest(key, length=64)
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, fingerprint[:2], f"{fingerprint}.json")

@@ -1,0 +1,221 @@
+"""``python -m repro serve`` — the marketplace as a JSON HTTP API.
+
+A deliberately dependency-free server (stdlib ``http.server`` with
+``ThreadingHTTPServer``) over one :class:`~repro.service.manager.SessionManager`:
+every request thread steps its own sessions while sharing the warm
+market pool, which is exactly the concurrency seam the manager's
+per-session locks exist for.
+
+Routes (all bodies and replies are JSON):
+
+=======  ==========================  ==========================================
+Method   Path                        Meaning
+=======  ==========================  ==========================================
+GET      ``/health``                 liveness probe
+GET      ``/report``                 manager report (markets, sessions, outcomes)
+POST     ``/markets``                build/warm a market from a ``MarketSpec``
+POST     ``/sessions``               open a session from a ``SessionSpec``
+GET      ``/sessions/<id>``          session status
+POST     ``/sessions/<id>/step``     advance (body: ``{"rounds": n}`` or
+                                     ``{"until_done": true}``; default 1 round)
+DELETE   ``/sessions/<id>``          close a session
+=======  ==========================  ==========================================
+
+Example walkthrough (against ``python -m repro serve --port 8765``)::
+
+    curl -s localhost:8765/health
+    curl -s -X POST localhost:8765/markets -d '{"dataset": "synthetic"}'
+    curl -s -X POST localhost:8765/sessions \
+         -d '{"market": {"dataset": "synthetic"}, "seed": 0}'
+    curl -s -X POST localhost:8765/sessions/s000000/step \
+         -d '{"until_done": true}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.manager import SessionManager
+from repro.service.specs import MarketSpec, SessionSpec
+
+__all__ = ["create_server", "run_server"]
+
+_SESSION_ROUTE = re.compile(r"^/sessions/([^/]+)(/step)?$")
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`SessionManager`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    @property
+    def manager(self) -> SessionManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            payload, status = handler()
+        except (ValueError, TypeError) as exc:  # spec/body validation
+            # TypeError covers wrong-typed spec fields (e.g. a string
+            # n_bundles failing a numeric comparison) — still a 400,
+            # not a dropped connection.
+            payload, status = {"error": str(exc)}, 400
+        except KeyError as exc:  # unknown session
+            payload, status = {"error": str(exc).strip("'\"")}, 404
+        except RuntimeError as exc:  # session limit
+            payload, status = {"error": str(exc)}, 429
+        self._reply(payload, status)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        match = _SESSION_ROUTE.match(self.path)
+        if self.path == "/health":
+            self._dispatch(lambda: ({"ok": True}, 200))
+        elif self.path == "/report":
+            self._dispatch(lambda: (self.manager.report(), 200))
+        elif match and not match.group(2):
+            sid = match.group(1)
+            self._dispatch(lambda: (self.manager.status(sid), 200))
+        else:
+            self._reply({"error": f"no route GET {self.path}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        match = _SESSION_ROUTE.match(self.path)
+        if self.path == "/markets":
+            self._dispatch(self._post_market)
+        elif self.path == "/sessions":
+            self._dispatch(self._post_session)
+        elif match and match.group(2):
+            self._dispatch(lambda: self._post_step(match.group(1)))
+        else:
+            self._reply({"error": f"no route POST {self.path}"}, 404)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        match = _SESSION_ROUTE.match(self.path)
+        if match and not match.group(2):
+            sid = match.group(1)
+            self._dispatch(lambda: ({"closed": self.manager.close(sid)}, 200))
+        else:
+            self._reply({"error": f"no route DELETE {self.path}"}, 404)
+
+    # ------------------------------------------------------------------
+    def _post_market(self) -> tuple[dict, int]:
+        spec = MarketSpec.from_dict(self._body())
+        cached = self.manager.pool.contains(spec)
+        market = self.manager.market(spec)
+        return (
+            {
+                "market": spec.digest(),
+                "name": market.name,
+                "n_bundles": len(market.oracle),
+                "target_gain": (
+                    float(market.config.target_gain)
+                    if market.config.target_gain is not None
+                    else None
+                ),
+                "cached": cached,
+            },
+            200,
+        )
+
+    def _post_session(self) -> tuple[dict, int]:
+        spec = SessionSpec.from_dict(self._body())
+        session_id = self.manager.open_session(spec)
+        return self.manager.status(session_id), 201
+
+    def _post_step(self, session_id: str) -> tuple[dict, int]:
+        body = self._body()
+        if body.get("until_done"):
+            return self.manager.run(session_id), 200
+        rounds = body.get("rounds", 1)
+        if not isinstance(rounds, int) or rounds < 1:
+            raise ValueError("rounds must be an int >= 1")
+        return self.manager.step(session_id, rounds=rounds), 200
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    manager: SessionManager | None = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    ``server.server_address``.  The caller owns the serve loop:
+    ``server.serve_forever()`` / ``server.shutdown()``.
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.daemon_threads = True
+    server.manager = manager if manager is not None else SessionManager()  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    idle_ttl: float | None = 900.0,
+    max_sessions: int = 4096,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point behind ``python -m repro serve``."""
+    manager = SessionManager(max_sessions=max_sessions, idle_ttl=idle_ttl or None)
+    server = create_server(host, port, manager=manager, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro marketplace service on http://{bound_host}:{bound_port} "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """CLI flags for the ``serve`` command (kept next to the server)."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="bind port (default 8765; 0 = ephemeral)")
+    parser.add_argument("--idle-ttl", type=float, default=900.0, metavar="SECS",
+                        help="evict sessions idle longer than this "
+                             "(default 900; 0 disables)")
+    parser.add_argument("--max-sessions", type=int, default=4096,
+                        help="resident-session cap (default 4096)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request")

@@ -1,0 +1,53 @@
+"""Population-simulation jobs as specs.
+
+:func:`run_simulation` is the service-layer twin of
+``python -m repro simulate``: it resolves a
+:class:`~repro.service.specs.SimulationSpec` into a sampled population,
+runs the :class:`~repro.simulate.pool.SessionPool` scheduler, and
+returns the deterministic aggregate report.  Oracle-backed jobs pull
+their market from the shared :class:`~repro.service.manager.MarketPool`,
+so a warm oracle serves simulations and interactive sessions alike.
+"""
+
+from __future__ import annotations
+
+from repro.service.manager import MarketPool, shared_pool
+from repro.service.specs import MarketSpec, SimulationSpec
+
+__all__ = ["run_simulation"]
+
+
+def run_simulation(
+    spec: SimulationSpec,
+    *,
+    pool: MarketPool | None = None,
+    market_spec: MarketSpec | None = None,
+):
+    """Run one population-simulation job.
+
+    Returns ``(population, result, report)`` — the sampled
+    :class:`~repro.simulate.population.Population`, the pool's terminal
+    :class:`~repro.simulate.pool.PoolResult`, and the aggregate
+    :class:`~repro.simulate.report.SimulationReport`.
+
+    ``market_spec`` overrides the oracle-backing market description
+    (the CLI passes the experiment-scale-aware spec from
+    :func:`repro.experiments.runner.spec_for`); by default the
+    spec's own :meth:`~repro.service.specs.SimulationSpec.market_spec`
+    is used.
+    """
+    from repro.simulate.pool import SessionPool
+    from repro.simulate.report import build_report
+    from repro.simulate.population import sample_population
+
+    oracle = None
+    if spec.dataset is not None:
+        backing = market_spec if market_spec is not None else spec.market_spec()
+        market = (pool if pool is not None else shared_pool()).get(backing)
+        oracle = market.oracle
+    population = sample_population(
+        spec.population_spec(), spec.sessions, seed=spec.seed, oracle=oracle
+    )
+    result = SessionPool(population, batch_size=spec.batch_size).run()
+    report = build_report(population, result, n_bins=spec.bins)
+    return population, result, report

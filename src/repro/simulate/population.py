@@ -23,50 +23,20 @@ import numpy as np
 
 from repro.market.bundle import FeatureBundle, sample_bundles
 from repro.market.config import MarketConfig
-from repro.market.costs import CostModel, make_cost
+from repro.market.costs import CostModel
 from repro.market.engine import BargainingEngine
-from repro.market.oracle import PerformanceOracle
-from repro.market.presets import MARKET_PRESETS
+from repro.market.oracle import PerformanceOracle, synthetic_gains
 from repro.market.pricing import ReservedPrice
-from repro.market.strategies.baselines import (
-    IncreasePriceTaskParty,
-    RandomBundleDataParty,
-)
-from repro.market.strategies.data_party import StrategicDataParty
-from repro.market.strategies.task_party import StrategicTaskParty
+from repro.service import registry
 from repro.utils.rng import spawn
 from repro.utils.validation import require
 
 __all__ = ["Population", "PopulationSpec", "sample_population"]
 
-_TASK_KINDS = ("strategic", "increase_price")
-_DATA_KINDS = ("strategic", "random_bundle")
+# Cost kinds the vectorised batch kernel implements, in its int8 code
+# order.  Registered kinds beyond these are valid in a ``cost_mix`` but
+# route their sessions through the stepwise engine path (code -1).
 _COST_KINDS = ("none", "constant", "linear", "exponential")
-
-# ΔG magnitude of each preset's catalogue (the paper's per-dataset
-# ranges: Titanic ~0.1-0.2, Credit ~0.005-0.012, Adult ~0.01-0.04).
-_GAIN_SCALE = {"titanic": 0.20, "credit": 0.012, "adult": 0.04, "synthetic": 0.20}
-
-# The "synthetic" preset stands up a market without any dataset/VFL
-# machinery — calibrated like the unit-test ladder markets.
-_SYNTHETIC_CONFIG = MarketConfig(
-    utility_rate=500.0,
-    budget=6.0,
-    initial_rate=6.2,
-    initial_base=0.95,
-    eps_d=1e-3,
-    eps_t=1e-3,
-)
-_SYNTHETIC_RESERVED = {
-    "rate_floor": 5.0,
-    "rate_per_feature": 0.15,
-    "base_floor": 0.80,
-    "base_per_feature": 0.020,
-    "rate_value": 2.0,
-    "base_value": 0.30,
-    "rate_noise": 0.25,
-    "base_noise": 0.02,
-}
 
 
 @dataclass(frozen=True)
@@ -119,28 +89,25 @@ class PopulationSpec:
     n_price_samples: int = 120
 
     def __post_init__(self) -> None:
-        require(self.preset in _GAIN_SCALE,
-                f"preset must be one of {sorted(_GAIN_SCALE)}")
+        require(self.preset in registry.DATASETS,
+                f"preset must be one of {list(registry.preset_names())}")
         require(self.n_features >= 1, "n_features must be >= 1")
         require(self.n_bundles >= 2, "n_bundles must be >= 2")
         require(bool(self.strategy_mix), "strategy_mix must not be empty")
         for task, data, weight in self.strategy_mix:
-            require(task in _TASK_KINDS, f"unknown task strategy {task!r}")
-            require(data in _DATA_KINDS, f"unknown data strategy {data!r}")
+            require(task in registry.TASK_STRATEGIES,
+                    f"unknown task strategy {task!r}")
+            require(data in registry.DATA_STRATEGIES,
+                    f"unknown data strategy {data!r}")
             require(weight > 0, "strategy weights must be > 0")
         require(bool(self.cost_mix), "cost_mix must not be empty")
         for kind, a, weight in self.cost_mix:
-            require(kind in _COST_KINDS, f"unknown cost kind {kind!r}")
-            # Enforce make_cost's per-kind constraints here so an
+            require(kind in registry.COSTS, f"unknown cost kind {kind!r}")
+            # Enforce each kind's parameter constraints here so an
             # invalid schedule fails at spec construction — not
             # mid-run on the stepwise path while the vectorised
             # kernel silently simulates it.
-            if kind == "linear":
-                require(a > 0, "linear cost needs a > 0")
-            elif kind == "exponential":
-                require(a > 1.0, "exponential cost needs a > 1")
-            else:
-                require(a >= 0, "cost parameter a must be >= 0")
+            registry.COSTS.get(kind).validate(a)
             require(weight > 0, "cost weights must be > 0")
         lo, hi = self.target_quantile_range
         require(0 < lo <= hi <= 1.0, "target_quantile_range must be in (0, 1]")
@@ -149,15 +116,15 @@ class PopulationSpec:
 
     def base_config(self) -> MarketConfig:
         """The preset's calibrated constants (before per-session jitter)."""
-        if self.preset == "synthetic":
-            return _SYNTHETIC_CONFIG
-        return MARKET_PRESETS[self.preset].config
+        return registry.DATASETS.get(self.preset).preset.config
 
     def reserved_params(self) -> dict:
         """The preset's reserved-price calibration."""
-        if self.preset == "synthetic":
-            return dict(_SYNTHETIC_RESERVED)
-        return dict(MARKET_PRESETS[self.preset].reserved_price_params)
+        return dict(registry.DATASETS.get(self.preset).preset.reserved_price_params)
+
+    def gain_scale(self) -> float:
+        """ΔG magnitude anchoring this preset's synthetic catalogues."""
+        return registry.DATASETS.get(self.preset).gain_scale
 
 
 @dataclass
@@ -211,14 +178,15 @@ class Population:
         """Boolean mask of sessions the vectorised kernel can advance.
 
         The kernel implements the perfect-information strategic pair
-        (all cost schedules included); every other strategy combination
-        runs through the stepwise engine.
+        over the built-in cost schedules; every other strategy
+        combination — and any session whose registered cost kind the
+        kernel has no code for — runs through the stepwise engine.
         """
         eligible = np.zeros(self.n_sessions, dtype=bool)
         for m, (task, data, _) in enumerate(self.spec.strategy_mix):
             if task == "strategic" and data == "strategic":
                 eligible |= self.mix_idx == m
-        return eligible
+        return eligible & (self.cost_kind >= 0)
 
     def config(self, i: int) -> MarketConfig:
         """The validated :class:`MarketConfig` of session ``i``."""
@@ -249,9 +217,7 @@ class Population:
     def cost_model(self, i: int) -> CostModel | None:
         """Session ``i``'s bargaining-cost schedule (both parties)."""
         kind, a, _ = self.spec.cost_mix[int(self.cost_idx[i])]
-        if kind == "none":
-            return None
-        return make_cost(kind, a)
+        return registry.build_cost(kind, a)
 
     def build_engine(
         self, i: int, *, oracle: object = None
@@ -268,28 +234,29 @@ class Population:
         reserved = self.reserved(i)
         cost = self.cost_model(i)
         task_kind, data_kind = self.strategy_pair(i)
-        if task_kind == "strategic":
-            task: object = StrategicTaskParty(
-                config,
-                list(gains.values()),
+        n_features = 1 + max(max(b.indices) for b in self.bundles)
+        task = registry.build_task_strategy(
+            task_kind,
+            registry.StrategyContext(
+                config=config,
+                gains=gains,
+                reserved_prices=reserved,
+                n_features=n_features,
                 cost_model=cost,
                 rng=spawn(self.seed, "session", int(i), "task"),
-            )
-        else:
-            task = IncreasePriceTaskParty(
-                config,
-                list(gains.values()),
-                rng=spawn(self.seed, "session", int(i), "task"),
-            )
-        if data_kind == "strategic":
-            data: object = StrategicDataParty(
-                gains, reserved, config, cost_model=cost
-            )
-        else:
-            data = RandomBundleDataParty(
-                gains, reserved, config,
+            ),
+        )
+        data = registry.build_data_strategy(
+            data_kind,
+            registry.StrategyContext(
+                config=config,
+                gains=gains,
+                reserved_prices=reserved,
+                n_features=n_features,
+                cost_model=cost,
                 rng=spawn(self.seed, "session", int(i), "data"),
-            )
+            ),
+        )
         return BargainingEngine(
             task,
             data,
@@ -323,7 +290,7 @@ def sample_population(
     """
     require(n_sessions >= 1, "n_sessions must be >= 1")
     cfg = spec.base_config()
-    scale = _GAIN_SCALE[spec.preset]
+    scale = spec.gain_scale()
 
     if oracle is not None:
         # Real catalogue: the platform already ran the VFL courses.
@@ -346,13 +313,12 @@ def sample_population(
             min_size=1,
         )
         sizes = np.array([b.size for b in bundles], dtype=float)
-        gain_rng = spawn(seed, "population", "gains")
-        gains = (
-            scale
-            * (sizes / spec.n_features) ** 0.7
-            * np.exp(gain_rng.normal(0.0, 0.25, size=len(bundles)))
+        gains = synthetic_gains(
+            sizes,
+            n_features=spec.n_features,
+            scale=scale,
+            rng=spawn(seed, "population", "gains"),
         )
-        gains = np.maximum(gains, 0.02 * scale)
 
     # Per-session reserved prices: the cost-plus-value model of
     # pricing.cost_based_reserved_prices, vectorised across sessions.
@@ -416,8 +382,14 @@ def sample_population(
     cost_w = np.array([w for _, _, w in spec.cost_mix], dtype=float)
     cost_idx = mix_rng.choice(len(spec.cost_mix), size=n_sessions,
                               p=cost_w / cost_w.sum())
+    # Kernel code per session; registered kinds the kernel does not
+    # implement get -1 and run through the stepwise engine path.
     cost_kind = np.array(
-        [_COST_KINDS.index(spec.cost_mix[m][0]) for m in cost_idx], dtype=np.int8
+        [
+            _COST_KINDS.index(kind) if kind in _COST_KINDS else -1
+            for kind in (spec.cost_mix[m][0] for m in cost_idx)
+        ],
+        dtype=np.int8,
     )
     cost_a = np.array([spec.cost_mix[m][1] for m in cost_idx], dtype=float)
 

@@ -1,0 +1,42 @@
+"""Canonical JSON serialisation and content digests.
+
+One serialisation rule for every content-addressed key in the library:
+the service layer's spec digests (:mod:`repro.service.specs`), the
+process-level market cache (:mod:`repro.experiments.runner`) and the
+oracle factory's persistent :class:`~repro.oracle_factory.cache.GainCache`
+fingerprints all hash the *same* canonical form, so two keys are equal
+exactly when their canonical dicts are equal — never because two
+ad-hoc serialisers happened to agree.
+
+Canonical form: JSON with sorted keys, compact separators, and only
+JSON-native types.  Tuples are serialised as arrays (so a spec that
+stores ``(a, b)`` and its dict round-trip ``[a, b]`` digest equally);
+NaN/Infinity are rejected (they are not valid JSON and would make the
+digest parser-dependent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "content_digest"]
+
+
+def canonical_json(obj: object) -> str:
+    """The canonical serialisation of a JSON-representable object."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_digest(obj: object, *, length: int = 16) -> str:
+    """Hex SHA-256 digest of :func:`canonical_json`, truncated to ``length``.
+
+    ``length=64`` keeps the full digest (the oracle factory's cache
+    files use it); the default 16 hex chars match the simulator's
+    report digests and are plenty for process-local cache keys.
+    """
+    blob = canonical_json(obj).encode("utf-8")
+    digest = hashlib.sha256(blob).hexdigest()
+    return digest[:length] if length < 64 else digest

@@ -1,0 +1,87 @@
+"""Regression: the market cache key must cover oracle-build settings.
+
+The pre-service cache keyed markets on ``(dataset, model, seed, tier)``
+only, so a ``--no-cache`` invocation could silently reuse a
+process-cached market built under different persistence settings (and
+report that build's statistics as its own).  Keys are now the full
+:meth:`MarketSpec.digest`, which includes ``jobs``/``cache_dir``/
+``no_cache``.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.market.market import Market
+from repro.service.manager import MarketPool
+
+
+@pytest.fixture
+def isolated_pool(monkeypatch):
+    """A fresh pool with market construction stubbed out (and counted)."""
+    pool = MarketPool()
+    monkeypatch.setattr(runner, "shared_pool", lambda: pool)
+    built = []
+
+    def fake_build(cls, spec, **kwargs):
+        built.append(spec)
+        return object()
+
+    monkeypatch.setattr(Market, "from_spec", classmethod(fake_build))
+    return pool, built
+
+
+class TestMarketCacheKey:
+    def test_same_settings_reuse(self, isolated_pool):
+        pool, built = isolated_pool
+        first = runner.get_market("titanic", cache=None)
+        again = runner.get_market("titanic", cache=None)
+        assert first is again
+        assert len(built) == 1
+
+    def test_cache_setting_enters_key(self, isolated_pool):
+        """A --no-cache run must not reuse a cache-backed build."""
+        pool, built = isolated_pool
+        cached = runner.get_market("titanic", cache="/tmp/oracle-cache")
+        uncached = runner.get_market("titanic", cache=None)
+        assert cached is not uncached
+        assert len(built) == 2
+        assert built[0].cache_dir == "/tmp/oracle-cache" and not built[0].no_cache
+        assert built[1].no_cache
+
+    def test_jobs_enter_key(self, isolated_pool):
+        pool, built = isolated_pool
+        serial = runner.get_market("titanic", cache=None)
+        parallel = runner.get_market("titanic", jobs=4, cache=None)
+        assert serial is not parallel
+        assert [spec.jobs for spec in built] == [1, 4]
+
+    def test_market_is_cached_agrees_with_get_market(self, isolated_pool):
+        pool, built = isolated_pool
+        assert not runner.market_is_cached("titanic", cache=None)
+        runner.get_market("titanic", cache=None)
+        assert runner.market_is_cached("titanic", cache=None)
+        # Different settings -> different key -> not cached yet.
+        assert not runner.market_is_cached("titanic", jobs=4, cache=None)
+        assert not runner.market_is_cached("titanic", cache="/tmp/x")
+
+    def test_gain_cache_object_normalised_to_directory(self, isolated_pool):
+        pool, built = isolated_pool
+        from repro.oracle_factory import GainCache
+
+        runner.get_market("titanic", cache=GainCache("/tmp/oracle-cache"))
+        assert runner.market_is_cached("titanic", cache="/tmp/oracle-cache")
+        assert built[0].cache_dir == "/tmp/oracle-cache"
+
+    def test_spec_first_form(self, isolated_pool):
+        pool, built = isolated_pool
+        spec = runner.spec_for("credit", "mlp", seed=2, jobs=3, cache=None)
+        market = runner.get_market(spec)
+        assert runner.market_is_cached(spec)
+        assert runner.get_market(spec) is market
+        assert built[0].dataset == "credit" and built[0].base_model == "mlp"
+
+    def test_clear_market_cache_clears_shared_pool(self):
+        from repro.service.manager import shared_pool
+
+        runner.clear_market_cache()
+        assert len(shared_pool()) == 0

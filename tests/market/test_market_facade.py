@@ -30,7 +30,7 @@ class TestForDataset:
         assert set(market.oracle.bundles) == set(market.reserved_prices)
 
     def test_unknown_dataset_rejected(self):
-        with pytest.raises(ValueError, match="no market preset"):
+        with pytest.raises(ValueError, match="unknown dataset"):
             Market.for_dataset("mnist")
 
     def test_config_overrides_applied(self):
@@ -80,7 +80,7 @@ class TestBargainVariants:
         assert out.status in ("accepted", "failed", "max_rounds")
 
     def test_unknown_strategy_rejected(self, titanic_market):
-        with pytest.raises(ValueError, match="task must be"):
+        with pytest.raises(ValueError, match="unknown task strategy"):
             titanic_market.bargain(task="oracle_cheat")
         with pytest.raises(ValueError, match="information"):
             titanic_market.bargain(information="partial")

@@ -1,0 +1,54 @@
+"""Golden pins: CLI output is byte-identical across the service refactor.
+
+The golden files were captured from the pre-service-layer CLI (markets
+built directly through ``bargain_many`` / ad-hoc ``get_market`` calls).
+The rebuilt commands construct specs and run through
+``SessionManager``/``run_simulation``; for pinned seeds every
+outcome-derived byte must match.  Only wall-clock lines (throughput,
+oracle-build timings) are filtered on both sides.
+"""
+
+import pathlib
+
+from repro.cli import main
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+_WALL_CLOCK_PREFIXES = ("throughput:", "oracle build:")
+
+
+def _deterministic(text: str) -> str:
+    return "\n".join(
+        line
+        for line in text.splitlines()
+        if not line.startswith(_WALL_CLOCK_PREFIXES)
+    )
+
+
+def _golden(name: str) -> str:
+    return _deterministic((GOLDEN / name).read_text())
+
+
+class TestSimulateGolden:
+    def test_simulate_60_seed1(self, capsys):
+        assert main(["simulate", "--sessions", "60", "--seed", "1"]) == 0
+        assert _deterministic(capsys.readouterr().out) == _golden(
+            "simulate_60_seed1.txt"
+        )
+
+    def test_simulate_mix_30_seed3(self, capsys):
+        assert main([
+            "simulate", "--sessions", "30", "--seed", "3",
+            "--mix", "strategic:strategic=0.7,increase_price:strategic=0.3",
+            "--cost", "none=0.8,linear:0.02=0.2",
+        ]) == 0
+        assert _deterministic(capsys.readouterr().out) == _golden(
+            "simulate_mix_30_seed3.txt"
+        )
+
+
+class TestBargainGolden:
+    def test_bargain_titanic_3_seed1(self, capsys):
+        assert main(["bargain", "--runs", "3", "--seed", "1", "--no-cache"]) == 0
+        out = _deterministic(capsys.readouterr().out)
+        assert out == _golden("bargain_titanic_3_seed1.txt")
