@@ -21,7 +21,14 @@ Commands
     histograms, throughput).
 ``serve``
     Serve the marketplace as a JSON HTTP API (markets, sessions,
-    stepping) on top of one warm market pool.
+    stepping, simulation jobs) on top of one warm market pool.
+``jobs``
+    Durable sharded simulation jobs: ``run`` fans a population across
+    worker-process shards with chunk-level progress in a SQLite store,
+    ``resume`` re-attaches after a crash (or ``kill -9``) and finishes
+    only the pending chunks, ``status``/``list`` inspect the store.
+    The merged report is bit-identical to ``simulate`` for any shard
+    count.
 ``table``
     Regenerate one of the paper's tables (2, 3 or 4).
 ``figure``
@@ -37,6 +44,8 @@ Examples
     python -m repro simulate --sessions 10000 --preset titanic
     python -m repro simulate --sessions 2000 --dataset credit --jobs 4
     python -m repro simulate --sessions 1000 --mix "strategic:strategic=0.8,increase_price:strategic=0.2"
+    python -m repro jobs run --sessions 20000 --shards 4 --store sweeps.sqlite3
+    python -m repro jobs resume j0123abcd4567ef89 --store sweeps.sqlite3
     python -m repro serve --port 8765
     python -m repro table 3 --dataset adult
     python -m repro figure 2 --dataset titanic --csv-dir results/
@@ -105,33 +114,37 @@ def build_parser() -> argparse.ArgumentParser:
     bargain.add_argument("--seed", type=int, default=0)
     _add_oracle_options(bargain)
 
+    def _add_population_options(parser: argparse.ArgumentParser) -> None:
+        """Simulation-describing flags shared by simulate and jobs run."""
+        parser.add_argument("--sessions", type=int, default=1000,
+                            help="population size (default 1000)")
+        parser.add_argument("--preset", default=None,
+                            choices=registry.preset_names(),
+                            help="calibration anchor for the population "
+                                 "(default: the --dataset name, else synthetic)")
+        parser.add_argument("--dataset", default=None, choices=vfl_datasets,
+                            help="anchor the catalogue on a real pre-bargaining "
+                                 "oracle: the factory runs one VFL course per "
+                                 "bundle on this dataset")
+        parser.add_argument("--base-model", default="random_forest",
+                            choices=base_models,
+                            help="base model for the --dataset oracle courses")
+        parser.add_argument("--seed", type=int, default=0)
+        _add_oracle_options(parser)
+        parser.add_argument("--batch-size", type=int, default=1024,
+                            help="scheduler batch width (outcomes are invariant)")
+        parser.add_argument("--mix", default=None, metavar="PAIRS",
+                            help="strategy mix, e.g. "
+                                 "'strategic:strategic=0.8,increase_price:strategic=0.2'")
+        parser.add_argument("--cost", default=None, metavar="COSTS",
+                            help="bargaining-cost mix, e.g. 'none=0.7,linear:0.05=0.3'")
+        parser.add_argument("--bins", type=int, default=16,
+                            help="histogram bins in the report")
+
     simulate = sub.add_parser(
         "simulate", help="run a population of concurrent bargaining sessions"
     )
-    simulate.add_argument("--sessions", type=int, default=1000,
-                          help="population size (default 1000)")
-    simulate.add_argument("--preset", default=None,
-                          choices=registry.preset_names(),
-                          help="calibration anchor for the population "
-                               "(default: the --dataset name, else synthetic)")
-    simulate.add_argument("--dataset", default=None, choices=vfl_datasets,
-                          help="anchor the catalogue on a real pre-bargaining "
-                               "oracle: the factory runs one VFL course per "
-                               "bundle on this dataset")
-    simulate.add_argument("--base-model", default="random_forest",
-                          choices=base_models,
-                          help="base model for the --dataset oracle courses")
-    simulate.add_argument("--seed", type=int, default=0)
-    _add_oracle_options(simulate)
-    simulate.add_argument("--batch-size", type=int, default=1024,
-                          help="scheduler batch width (outcomes are invariant)")
-    simulate.add_argument("--mix", default=None, metavar="PAIRS",
-                          help="strategy mix, e.g. "
-                               "'strategic:strategic=0.8,increase_price:strategic=0.2'")
-    simulate.add_argument("--cost", default=None, metavar="COSTS",
-                          help="bargaining-cost mix, e.g. 'none=0.7,linear:0.05=0.3'")
-    simulate.add_argument("--bins", type=int, default=16,
-                          help="histogram bins in the report")
+    _add_population_options(simulate)
     simulate.add_argument("--json", default=None, metavar="PATH",
                           help="also dump the report as JSON here")
     simulate.add_argument("--expect-digest", default=None, metavar="HEX",
@@ -143,6 +156,56 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.service.server import add_serve_arguments
 
     add_serve_arguments(serve)
+
+    jobs = sub.add_parser(
+        "jobs", help="durable, sharded simulation jobs (submit, kill, resume)"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_store_option(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--store", default=None, metavar="PATH",
+                            help="durable job store (default: $REPRO_JOB_STORE "
+                                 "or ~/.cache/repro/jobs.sqlite3)")
+
+    def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--shards", type=int, default=2, metavar="N",
+                            help="worker-process shards (default 2; 0 = all "
+                                 "cores; the merged report is identical for "
+                                 "every value)")
+        parser.add_argument("--max-chunks", type=int, default=None,
+                            metavar="K",
+                            help="stop after K chunks this invocation, "
+                                 "leaving the job resumable (testing/drills)")
+        parser.add_argument("--expect-digest", default=None, metavar="HEX",
+                            help="fail unless the merged report digest "
+                                 "matches (CI guard)")
+
+    jobs_run = jobs_sub.add_parser(
+        "run", help="submit a simulation job and execute it shard-parallel"
+    )
+    _add_population_options(jobs_run)
+    jobs_run.add_argument("--chunks", type=int, default=None, metavar="M",
+                          help="progress granularity: sessions are recorded "
+                               "to the store in M chunks (default: up to 16)")
+    _add_store_option(jobs_run)
+    _add_execution_options(jobs_run)
+
+    jobs_resume = jobs_sub.add_parser(
+        "resume", help="re-attach to a job and run its pending chunks"
+    )
+    jobs_resume.add_argument("job_id")
+    _add_store_option(jobs_resume)
+    _add_execution_options(jobs_resume)
+
+    jobs_status = jobs_sub.add_parser("status", help="one job's progress")
+    jobs_status.add_argument("job_id")
+    jobs_status.add_argument("--report", action="store_true",
+                             help="also print the stored report of a "
+                                  "finished job")
+    _add_store_option(jobs_status)
+
+    jobs_list = jobs_sub.add_parser("list", help="every recorded job")
+    _add_store_option(jobs_list)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 4))
@@ -270,10 +333,10 @@ def _parse_cost(text: str) -> tuple[tuple[str, float, float], ...]:
     return tuple(entries)
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from dataclasses import asdict
-
-    from repro.service import SimulationSpec, run_simulation
+def _simulation_spec(args: argparse.Namespace):
+    """The validated ``SimulationSpec`` described by simulate-style flags
+    (shared by ``simulate`` and ``jobs run``)."""
+    from repro.service import SimulationSpec
 
     for name, value in (("--sessions", args.sessions),
                         ("--batch-size", args.batch_size),
@@ -315,6 +378,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"{', '.join(ignored)} only apply with --dataset "
                 f"(no oracle is built for synthetic catalogues)"
             )
+    return sim
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.service import run_simulation
+
+    sim = _simulation_spec(args)
     market_spec = None
     if args.dataset:
         # A real pre-bargaining oracle: the factory runs (or replays
@@ -338,21 +410,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(report.to_text())
     if args.json:
         import json
-        import math
         import os
 
-        def _jsonable(value):
-            # NaN/inf are not valid JSON tokens; strict parsers (jq,
-            # JSON.parse) reject them, so export them as null.
-            if isinstance(value, float) and not math.isfinite(value):
-                return None
-            if isinstance(value, dict):
-                return {k: _jsonable(v) for k, v in value.items()}
-            if isinstance(value, (list, tuple)):
-                return [_jsonable(v) for v in value]
-            return value
+        from repro.utils.canonical import json_safe
 
-        payload = _jsonable(asdict(report))
+        payload = json_safe(asdict(report))
         payload["digest"] = report.digest()
         os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -365,6 +427,90 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_store(args: argparse.Namespace):
+    from repro.jobs import JobStore, default_store_path
+
+    return JobStore(args.store or default_store_path())
+
+
+def _print_job(record) -> None:
+    line = (f"job {record.job_id}: {record.status} | kind {record.kind} | "
+            f"chunks {record.done_chunks}/{record.n_chunks}")
+    if record.digest:
+        line += f" | digest {record.digest}"
+    print(line)
+
+
+def _print_job_report(record) -> None:
+    """The stored report of a finished job, rendered per kind."""
+    if record.kind == "simulation":
+        from repro.simulate.report import report_from_dict
+
+        print(report_from_dict(record.report).to_text())
+    else:
+        print(f"batch: {record.report['accepted']}/{record.report['runs']} "
+              f"accepted")
+
+
+def _finish_job_command(record, expect_digest: str | None) -> int:
+    """Shared run/resume epilogue: report, digest guard, exit code."""
+    _print_job(record)
+    if record.finished:
+        _print_job_report(record)
+    if expect_digest:
+        if not record.finished:
+            print(f"job not finished (status {record.status}); cannot verify "
+                  f"digest — resume it with: repro jobs resume {record.job_id}")
+            return 1
+        if record.digest != expect_digest:
+            print(f"digest mismatch: got {record.digest}, "
+                  f"expected {expect_digest}")
+            return 1
+    if not record.finished:
+        print(f"resume with: python -m repro jobs resume {record.job_id}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.jobs import ShardedExecutor
+
+    store = _job_store(args)
+    if args.jobs_command == "list":
+        records = store.jobs()
+        if not records:
+            print(f"no jobs recorded in {store.path}")
+        for record in records:
+            _print_job(record)
+        return 0
+    if args.jobs_command == "status":
+        try:
+            record = store.get(args.job_id)
+        except KeyError as exc:
+            raise SystemExit(str(exc).strip("'\"")) from None
+        _print_job(record)
+        if args.report and record.finished:
+            _print_job_report(record)
+        return 0
+
+    executor = ShardedExecutor(
+        store, shards=args.shards, max_chunks=args.max_chunks
+    )
+    if args.jobs_command == "run":
+        spec = _simulation_spec(args)
+        record = executor.submit(spec, chunks=args.chunks)
+        print(f"submitted job {record.job_id} "
+              f"({record.n_chunks} chunks, {args.shards or 'all'} shards, "
+              f"store {store.path})")
+        job_id = record.job_id
+    else:  # resume
+        job_id = args.job_id
+    try:
+        record = executor.run(job_id)
+    except KeyError as exc:
+        raise SystemExit(str(exc).strip("'\"")) from None
+    return _finish_job_command(record, args.expect_digest)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
@@ -373,6 +519,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.port,
         idle_ttl=args.idle_ttl,
         max_sessions=args.max_sessions,
+        job_store=args.job_store,
+        shards=args.shards,
+        drain_timeout=args.drain_timeout,
         verbose=args.verbose,
     )
 
@@ -445,6 +594,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "table":
         return _cmd_table(args)
     return _cmd_figure(args)

@@ -1,0 +1,298 @@
+"""The durable job store: submitted specs, chunk progress, results.
+
+One SQLite file records every job the platform has accepted: the
+canonical spec, the immutable chunk layout, each chunk's result as it
+lands, and the merged report once all chunks are in.  Everything is
+written through at the moment it happens, so a ``kill -9`` mid-sweep
+loses at most the chunks that were still in flight — ``resume`` re-runs
+exactly the pending ones and merges a bit-identical report.
+
+Job ids are **content-addressed** (the shared
+:mod:`repro.utils.canonical` digest over ``kind + spec + chunk
+layout``), so resubmitting the same job is idempotent: the second
+submit finds the first's record — finished chunks and all — instead of
+starting a duplicate sweep.
+
+Chunk results may carry NaN (failed sessions' ``delta_g``); they are
+stored with Python's JSON NaN extension, which :func:`json.loads`
+round-trips exactly.  Wire-facing callers sanitise with
+:func:`repro.utils.canonical.json_safe`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.utils.canonical import content_digest
+from repro.utils.validation import require
+
+__all__ = ["JobRecord", "JobStore", "default_store_path"]
+
+#: Job lifecycle: ``submitted`` (chunks pending, nothing running),
+#: ``running`` (an executor owns it), ``interrupted`` (an executor
+#: stopped early — drain, crash, or operator stop), ``done``,
+#: ``failed``.  ``resume`` accepts anything that is not ``done``.
+_STATUSES = ("submitted", "running", "interrupted", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id     TEXT PRIMARY KEY,
+    kind       TEXT NOT NULL,
+    spec       TEXT NOT NULL,
+    chunks     TEXT NOT NULL,
+    status     TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL,
+    report     TEXT,
+    digest     TEXT,
+    error      TEXT
+);
+CREATE TABLE IF NOT EXISTS chunks (
+    job_id      TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    status      TEXT NOT NULL,
+    result      TEXT,
+    elapsed     REAL,
+    updated_at  REAL NOT NULL,
+    PRIMARY KEY (job_id, chunk_index)
+);
+"""
+
+
+def default_store_path() -> str:
+    """``$REPRO_JOB_STORE`` or ``~/.cache/repro/jobs.sqlite3``."""
+    env = os.environ.get("REPRO_JOB_STORE")
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "jobs.sqlite3"
+    )
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable state (a row of the ``jobs`` table, decoded)."""
+
+    job_id: str
+    kind: str
+    spec: dict
+    chunks: tuple[tuple[int, int], ...]
+    status: str
+    created_at: float
+    updated_at: float
+    report: dict | None
+    digest: str | None
+    error: str | None
+    done_chunks: int
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def finished(self) -> bool:
+        return self.status == "done"
+
+    def progress(self) -> dict:
+        """Wire-facing progress summary."""
+        payload = {
+            "job": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "chunks": self.n_chunks,
+            "chunks_done": self.done_chunks,
+        }
+        if self.digest is not None:
+            payload["digest"] = self.digest
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobStore:
+    """Durable, content-addressed store of jobs and chunk results.
+
+    Every method opens its own short-lived connection (SQLite serialises
+    writers itself, within and across processes), so one store instance
+    is safe to share between the server's request threads and a job's
+    executor thread — and a second process pointed at the same file sees
+    the same jobs, which is what ``repro jobs resume`` relies on after a
+    crash.
+    """
+
+    def __init__(self, path: str):
+        require(bool(path), "JobStore needs a file path (durability is the point)")
+        self.path = str(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self):
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            yield conn
+            conn.commit()
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    @staticmethod
+    def job_id_for(
+        kind: str, spec: dict, chunks: list[tuple[int, int]]
+    ) -> str:
+        """The content-addressed id of a job (kind + spec + layout)."""
+        return "j" + content_digest(
+            {"kind": kind, "spec": spec, "chunks": [list(c) for c in chunks]}
+        )
+
+    def submit(
+        self, kind: str, spec: dict, chunks: list[tuple[int, int]]
+    ) -> JobRecord:
+        """Record a job (idempotent: same content → same record)."""
+        require(bool(chunks), "a job needs at least one chunk")
+        job_id = self.job_id_for(kind, spec, chunks)
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO jobs "
+                "(job_id, kind, spec, chunks, status, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, 'submitted', ?, ?)",
+                (
+                    job_id,
+                    kind,
+                    json.dumps(spec),
+                    json.dumps([list(c) for c in chunks]),
+                    now,
+                    now,
+                ),
+            )
+            conn.executemany(
+                "INSERT OR IGNORE INTO chunks "
+                "(job_id, chunk_index, status, updated_at) "
+                "VALUES (?, ?, 'pending', ?)",
+                [(job_id, index, now) for index in range(len(chunks))],
+            )
+        return self.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    _RECORD_QUERY = (
+        "SELECT j.job_id, j.kind, j.spec, j.chunks, j.status, j.created_at, "
+        "j.updated_at, j.report, j.digest, j.error, "
+        "(SELECT COUNT(*) FROM chunks c "
+        " WHERE c.job_id = j.job_id AND c.status = 'done') "
+        "FROM jobs j"
+    )
+
+    @staticmethod
+    def _record(row: tuple) -> JobRecord:
+        return JobRecord(
+            job_id=row[0],
+            kind=row[1],
+            spec=json.loads(row[2]),
+            chunks=tuple(tuple(c) for c in json.loads(row[3])),
+            status=row[4],
+            created_at=row[5],
+            updated_at=row[6],
+            report=json.loads(row[7]) if row[7] is not None else None,
+            digest=row[8],
+            error=row[9],
+            done_chunks=int(row[10]),
+        )
+
+    def get(self, job_id: str) -> JobRecord:
+        """The job's current record; ``KeyError`` if unknown."""
+        with self._connect() as conn:
+            row = conn.execute(
+                f"{self._RECORD_QUERY} WHERE j.job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return self._record(row)
+
+    def jobs(self) -> list[JobRecord]:
+        """Every recorded job, newest first (one query, one connection)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"{self._RECORD_QUERY} ORDER BY j.created_at DESC"
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
+    def pending_chunks(self, job_id: str) -> list[tuple[int, int, int]]:
+        """``(chunk_index, start, stop)`` of every not-yet-done chunk."""
+        record = self.get(job_id)
+        with self._connect() as conn:
+            pending = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT chunk_index FROM chunks "
+                    "WHERE job_id = ? AND status != 'done'",
+                    (job_id,),
+                )
+            }
+        return [
+            (index, start, stop)
+            for index, (start, stop) in enumerate(record.chunks)
+            if index in pending
+        ]
+
+    def chunk_results(self, job_id: str) -> dict[int, dict]:
+        """Decoded results of every finished chunk."""
+        self.get(job_id)  # raise KeyError for unknown jobs
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT chunk_index, result FROM chunks "
+                "WHERE job_id = ? AND status = 'done'",
+                (job_id,),
+            ).fetchall()
+        return {int(index): json.loads(result) for index, result in rows}
+
+    # ------------------------------------------------------------------
+    # Writes (each durable the moment it returns)
+    # ------------------------------------------------------------------
+    def record_chunk(
+        self, job_id: str, chunk_index: int, result: dict, *, elapsed: float = 0.0
+    ) -> None:
+        """Persist one finished chunk's result."""
+        with self._connect() as conn:
+            updated = conn.execute(
+                "UPDATE chunks SET status = 'done', result = ?, elapsed = ?, "
+                "updated_at = ? WHERE job_id = ? AND chunk_index = ?",
+                (json.dumps(result), float(elapsed), time.time(),
+                 job_id, int(chunk_index)),
+            ).rowcount
+            require(
+                updated == 1,
+                f"job {job_id!r} has no chunk {chunk_index!r}",
+            )
+
+    def set_status(self, job_id: str, status: str, *, error: str | None = None) -> None:
+        """Move a job through its lifecycle."""
+        require(status in _STATUSES, f"status must be one of {_STATUSES}")
+        with self._connect() as conn:
+            updated = conn.execute(
+                "UPDATE jobs SET status = ?, error = ?, updated_at = ? "
+                "WHERE job_id = ?",
+                (status, error, time.time(), job_id),
+            ).rowcount
+            require(updated == 1, f"unknown job {job_id!r}")
+
+    def finish(self, job_id: str, report: dict, digest: str) -> None:
+        """Record the merged report and mark the job done."""
+        with self._connect() as conn:
+            updated = conn.execute(
+                "UPDATE jobs SET status = 'done', report = ?, digest = ?, "
+                "error = NULL, updated_at = ? WHERE job_id = ?",
+                (json.dumps(report), digest, time.time(), job_id),
+            ).rowcount
+            require(updated == 1, f"unknown job {job_id!r}")

@@ -37,6 +37,28 @@ from repro.utils.validation import require
 
 __all__ = ["BargainOutcome", "BargainingEngine", "EngineState", "RoundRecord"]
 
+#: Checkpoint wire-format version; bump on incompatible layout changes.
+STATE_FORMAT_VERSION = 1
+
+
+def _encode_float(value: float) -> float | str:
+    """JSON-safe float: non-finite values become their string names.
+
+    The canonical serialiser (:mod:`repro.utils.canonical`) rejects
+    NaN/Infinity (they are not valid JSON), but failed rounds carry
+    ``delta_g = nan`` — so the wire format spells them out.
+    """
+    value = float(value)
+    if value != value:
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value: float | str) -> float:
+    return float(value)
+
 
 @dataclass(frozen=True)
 class RoundRecord:
@@ -52,6 +74,43 @@ class RoundRecord:
     cost_data: float
     data_decision: Decision
     task_decision: Decision | None
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (checkpoint wire format)."""
+        return {
+            "round_number": int(self.round_number),
+            "quote": self.quote.to_dict(),
+            "bundle": list(self.bundle.indices) if self.bundle else None,
+            "delta_g": _encode_float(self.delta_g),
+            "payment": _encode_float(self.payment),
+            "net_profit": _encode_float(self.net_profit),
+            "cost_task": _encode_float(self.cost_task),
+            "cost_data": _encode_float(self.cost_data),
+            "data_decision": self.data_decision.value,
+            "task_decision": (
+                self.task_decision.value if self.task_decision else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`."""
+        bundle = payload["bundle"]
+        task_decision = payload["task_decision"]
+        return cls(
+            round_number=int(payload["round_number"]),
+            quote=QuotedPrice.from_dict(payload["quote"]),
+            bundle=FeatureBundle.of(bundle) if bundle is not None else None,
+            delta_g=_decode_float(payload["delta_g"]),
+            payment=_decode_float(payload["payment"]),
+            net_profit=_decode_float(payload["net_profit"]),
+            cost_task=_decode_float(payload["cost_task"]),
+            cost_data=_decode_float(payload["cost_data"]),
+            data_decision=Decision(payload["data_decision"]),
+            task_decision=(
+                Decision(task_decision) if task_decision is not None else None
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -93,6 +152,57 @@ class BargainOutcome:
         """``payment − C_d(T)`` (§3.4.4)."""
         return self.payment - self.cost_data
 
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form, **excluding** ``history``.
+
+        The record trail is serialised once at the
+        :meth:`EngineState.to_dict` level (a terminal state's outcome
+        shares the state's own history), so the outcome payload stays
+        compact; :meth:`from_dict` re-attaches it.
+        """
+        return {
+            "status": self.status,
+            "terminated_by": self.terminated_by,
+            "n_rounds": int(self.n_rounds),
+            "quote": self.quote.to_dict() if self.quote else None,
+            "bundle": list(self.bundle.indices) if self.bundle else None,
+            "delta_g": _encode_float(self.delta_g),
+            "payment": _encode_float(self.payment),
+            "net_profit": _encode_float(self.net_profit),
+            "cost_task": _encode_float(self.cost_task),
+            "cost_data": _encode_float(self.cost_data),
+            "reserved_of_bundle": (
+                self.reserved_of_bundle.to_dict()
+                if self.reserved_of_bundle
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, *, history: list["RoundRecord"] | None = None
+    ) -> "BargainOutcome":
+        """Inverse of :meth:`to_dict`; ``history`` re-attaches the trail."""
+        quote = payload["quote"]
+        bundle = payload["bundle"]
+        reserved = payload["reserved_of_bundle"]
+        return cls(
+            status=str(payload["status"]),
+            terminated_by=str(payload["terminated_by"]),
+            n_rounds=int(payload["n_rounds"]),
+            quote=QuotedPrice.from_dict(quote) if quote is not None else None,
+            bundle=FeatureBundle.of(bundle) if bundle is not None else None,
+            delta_g=_decode_float(payload["delta_g"]),
+            payment=_decode_float(payload["payment"]),
+            net_profit=_decode_float(payload["net_profit"]),
+            cost_task=_decode_float(payload["cost_task"]),
+            cost_data=_decode_float(payload["cost_data"]),
+            reserved_of_bundle=(
+                ReservedPrice.from_dict(reserved) if reserved is not None else None
+            ),
+            history=list(history) if history is not None else [],
+        )
+
 
 @dataclass(frozen=True)
 class EngineState:
@@ -125,6 +235,59 @@ class EngineState:
     def done(self) -> bool:
         """True once the game has terminated."""
         return self.outcome is not None
+
+    # ------------------------------------------------------------------
+    # Checkpoint wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form: the checkpoint wire format.
+
+        Everything the state holds — the standing quote, the full record
+        trail, and (for terminal states) the outcome — as JSON-native
+        values, canonically serialisable by :mod:`repro.utils.canonical`
+        (non-finite floats are spelled ``"nan"``/``"inf"``/``"-inf"``).
+        Note that *strategies* keep their own learning state: restoring
+        a serialised state into a fresh engine requires replaying it
+        (see :meth:`repro.service.manager.SessionManager.restore`),
+        which :meth:`digest` lets the restorer verify bit-for-bit.
+        """
+        return {
+            "version": STATE_FORMAT_VERSION,
+            "round_number": int(self.round_number),
+            "quote": self.quote.to_dict(),
+            "history": [record.to_dict() for record in self.history],
+            "outcome": self.outcome.to_dict() if self.outcome else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineState":
+        """Inverse of :meth:`to_dict`; rejects unknown format versions."""
+        version = payload.get("version")
+        require(
+            version == STATE_FORMAT_VERSION,
+            f"unsupported engine-state format version {version!r} "
+            f"(this build reads version {STATE_FORMAT_VERSION})",
+        )
+        history = tuple(
+            RoundRecord.from_dict(record) for record in payload["history"]
+        )
+        outcome = payload["outcome"]
+        return cls(
+            round_number=int(payload["round_number"]),
+            quote=QuotedPrice.from_dict(payload["quote"]),
+            history=history,
+            outcome=(
+                BargainOutcome.from_dict(outcome, history=list(history))
+                if outcome is not None
+                else None
+            ),
+        )
+
+    def digest(self) -> str:
+        """Content digest of the canonical form (checkpoint integrity key)."""
+        from repro.utils.canonical import content_digest
+
+        return content_digest(self.to_dict())
 
 
 class BargainingEngine:

@@ -246,6 +246,10 @@ class MemoisedOracle:
         self._cache.update(full)
         return full
 
+    def queried_bundles(self) -> list[FeatureBundle]:
+        """Every distinct bundle answered so far (cached keys)."""
+        return list(self._cache)
+
     @property
     def bundles(self) -> list[FeatureBundle]:
         return self.inner.bundles

@@ -67,6 +67,23 @@ class QuotedPrice:
         """``(p, P0, Ph)`` for feature vectors / reports."""
         return (self.rate, self.base, self.cap)
 
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (checkpoint wire format)."""
+        return {
+            "rate": float(self.rate),
+            "base": float(self.base),
+            "cap": float(self.cap),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuotedPrice":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            rate=float(payload["rate"]),
+            base=float(payload["base"]),
+            cap=float(payload["cap"]),
+        )
+
     def __str__(self) -> str:
         return f"(p={self.rate:.3f}, P0={self.base:.3f}, Ph={self.cap:.3f})"
 
@@ -85,6 +102,15 @@ class ReservedPrice:
     def satisfied_by(self, quote: QuotedPrice) -> bool:
         """True when the quote meets both floors (``p >= p_l`` and ``P0 >= P_l``)."""
         return quote.rate >= self.rate - 1e-12 and quote.base >= self.base - 1e-12
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (checkpoint wire format)."""
+        return {"rate": float(self.rate), "base": float(self.base)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReservedPrice":
+        """Inverse of :meth:`to_dict`."""
+        return cls(rate=float(payload["rate"]), base=float(payload["base"]))
 
 
 def cost_based_reserved_prices(

@@ -35,7 +35,7 @@ from repro.oracle_factory.course import FastForestCourse
 from repro.oracle_factory.designs import SharedDesigns
 from repro.utils.rng import spawn
 from repro.utils.validation import require
-from repro.vfl.runner import BASE_MODELS, resolve_model_params, run_vfl
+from repro.vfl.runner import resolve_model_params, run_vfl
 
 __all__ = ["BuildReport", "CourseRunner", "build_oracle", "resolve_jobs"]
 
@@ -222,8 +222,10 @@ def build_oracle(
     """
     require(bool(bundles), "oracle needs at least one bundle")
     require(n_repeats >= 1, "n_repeats must be >= 1")
-    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
     start = time.perf_counter()
+    # Resolving params validates base_model against the registry, so
+    # registered custom models build oracles exactly like the built-ins
+    # (they take the run_vfl course path; the fused fast path is RF's).
     params = resolve_model_params(base_model, model_params)
     seeds = repeat_course_seeds(seed, n_repeats)
     jobs = resolve_jobs(jobs)

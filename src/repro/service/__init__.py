@@ -46,9 +46,10 @@ from repro.service.registry import (
 )
 from repro.service.server import create_server, run_server
 from repro.service.simulation import run_simulation
-from repro.service.specs import MarketSpec, SessionSpec, SimulationSpec
+from repro.service.specs import BatchSpec, MarketSpec, SessionSpec, SimulationSpec
 
 __all__ = [
+    "BatchSpec",
     "MarketPool",
     "MarketSpec",
     "Registry",

@@ -43,6 +43,7 @@ class MarketPool:
     def __init__(self):
         self._lock = threading.Lock()
         self._markets: dict[str, Market] = {}
+        self._specs: dict[str, dict] = {}
         self._builds: dict[str, threading.Lock] = {}
         self.builds = 0  # cold builds performed (cache misses)
 
@@ -70,6 +71,7 @@ class MarketPool:
             market = Market.from_spec(spec)
             with self._lock:
                 self._markets[digest] = market
+                self._specs[digest] = spec.to_dict()
                 self._builds.pop(digest, None)
                 self.builds += 1
             return market
@@ -91,10 +93,17 @@ class MarketPool:
             self._markets[digest] = market
         return digest
 
+    def spec_dict(self, digest: str) -> dict | None:
+        """The ``MarketSpec`` dict built under ``digest`` (``None`` for
+        hand-injected markets, which have no declarative description)."""
+        with self._lock:
+            return self._specs.get(digest)
+
     def clear(self) -> None:
         """Drop every cached market (tests use this to force cold builds)."""
         with self._lock:
             self._markets.clear()
+            self._specs.clear()
             self._builds.clear()
 
     def markets(self) -> dict[str, str]:
@@ -129,17 +138,16 @@ class _Session:
     last_active: float
     steps: int = 0
     counted: bool = False
+    #: Restored-but-not-yet-resumed sessions are protected from idle
+    #: eviction until their client first touches them — a checkpoint
+    #: shipped into this manager must not be reaped while the client
+    #: is still reconnecting.
+    pending_restore: bool = False
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 def _quote_dict(quote) -> dict | None:
-    if quote is None:
-        return None
-    return {
-        "rate": float(quote.rate),
-        "base": float(quote.base),
-        "cap": float(quote.cap),
-    }
+    return quote.to_dict() if quote is not None else None
 
 
 def _outcome_dict(outcome: BargainOutcome) -> dict:
@@ -214,8 +222,8 @@ class SessionManager:
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
-    def open_session(self, spec: SessionSpec) -> str:
-        """Stand up one session's engine and return its id."""
+    def _build_engine(self, spec: SessionSpec) -> tuple[str, BargainingEngine]:
+        """One session's engine over the pooled market for ``spec``."""
         digest, market = self._resolve_market(spec)
         cost_task, cost_data = spec.cost_models()
         engine = market.build_engine(
@@ -227,6 +235,20 @@ class SessionManager:
             cost_data=cost_data,
             config_overrides=spec.config_overrides,
         )
+        return digest, engine
+
+    def _install(
+        self,
+        spec: SessionSpec,
+        digest: str,
+        engine: BargainingEngine,
+        state: EngineState,
+        *,
+        session_id: str | None = None,
+        steps: int = 0,
+        pending_restore: bool = False,
+    ) -> str:
+        """Register a session under the manager's capacity accounting."""
         now = self._clock()
         with self._lock:
             self._evict_locked(now)
@@ -235,18 +257,34 @@ class SessionManager:
                     f"session limit reached ({self.max_sessions}); "
                     f"close or evict sessions first"
                 )
-            session_id = f"s{next(self._ids):06d}"
+            if session_id is None:
+                while True:
+                    session_id = f"s{next(self._ids):06d}"
+                    if session_id not in self._sessions:
+                        break
+            elif session_id in self._sessions:
+                raise RuntimeError(
+                    f"session {session_id!r} is already resident; close it "
+                    f"before restoring a checkpoint under its id"
+                )
             self._sessions[session_id] = _Session(
                 id=session_id,
                 spec=spec,
                 market_digest=digest,
                 engine=engine,
-                state=engine.start(),
+                state=state,
                 opened_at=now,
                 last_active=now,
+                steps=steps,
+                pending_restore=pending_restore,
             )
             self._opened += 1
         return session_id
+
+    def open_session(self, spec: SessionSpec) -> str:
+        """Stand up one session's engine and return its id."""
+        digest, engine = self._build_engine(spec)
+        return self._install(spec, digest, engine, engine.start())
 
     def _get(self, session_id: str) -> _Session:
         with self._lock:
@@ -273,7 +311,7 @@ class SessionManager:
                     break
                 session.state = session.engine.step(session.state)
                 session.steps += 1
-            session.last_active = self._clock()
+            self._touch(session)
             self._tally(session)
             return self._summary(session)
 
@@ -284,15 +322,25 @@ class SessionManager:
             while not session.state.done:
                 session.state = session.engine.step(session.state)
                 session.steps += 1
-            session.last_active = self._clock()
+            self._touch(session)
             self._tally(session)
             return self._summary(session)
 
     def status(self, session_id: str) -> dict:
-        """The session's current (possibly terminal) status."""
+        """The session's current (possibly terminal) status.
+
+        Read-only: polling does not count as client activity (and does
+        not lift a restored session's eviction grace period) — the
+        restore handler itself replies with a status.
+        """
         session = self._get(session_id)
         with session.lock:
             return self._summary(session)
+
+    def _touch(self, session: _Session) -> None:
+        """Record client activity (and lift any restore grace period)."""
+        session.last_active = self._clock()
+        session.pending_restore = False
 
     def outcome(self, session_id: str) -> BargainOutcome | None:
         """The rich outcome object (embedded callers; ``None`` if live)."""
@@ -309,6 +357,93 @@ class SessionManager:
             return existed
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, session_id: str) -> dict:
+        """A self-contained snapshot of one session, shippable as JSON.
+
+        The payload carries the session's full :class:`SessionSpec`
+        (with the market inlined as a spec dict, so another process can
+        rebuild the same market), the canonical
+        :meth:`~repro.market.engine.EngineState.to_dict` state, and the
+        state's content digest — which :meth:`restore` verifies after
+        replaying, guaranteeing the resumed session's remaining trace
+        is bit-identical to the source's.
+        """
+        session = self._get(session_id)
+        with session.lock:
+            spec_dict = session.spec.to_dict()
+            if isinstance(spec_dict["market"], str):
+                market_spec = self.pool.spec_dict(spec_dict["market"])
+                if market_spec is None:
+                    raise ValueError(
+                        f"session {session_id!r} runs on a hand-injected "
+                        f"market ({spec_dict['market']!r}) with no spec; "
+                        f"its checkpoint cannot be restored elsewhere"
+                    )
+                spec_dict["market"] = market_spec
+            state = session.state
+            return {
+                "version": 1,
+                "session": session.id,
+                "market": session.market_digest,
+                "spec": spec_dict,
+                "steps": session.steps,
+                "state": state.to_dict(),
+                "digest": state.digest(),
+            }
+
+    def restore(self, payload: dict, *, session_id: str | None = None) -> str:
+        """Resume a checkpointed session (possibly from another process).
+
+        Strategies keep private learning state the checkpoint does not
+        carry, so restore *replays*: a fresh engine is built from the
+        checkpoint's spec (identical seeded RNG streams) and stepped
+        ``round_number`` times — bit-identical to the original game's
+        prefix — then the replayed state is verified against the
+        checkpoint digest.  A mismatch (corrupt payload, drifted market,
+        wrong code version) raises ``ValueError`` rather than silently
+        resuming a different game.
+
+        The restored session keeps a grace period: it is exempt from
+        idle eviction until a client first touches it.
+        """
+        require(isinstance(payload, dict), "checkpoint payload must be a dict")
+        require(payload.get("version") == 1,
+                f"unsupported checkpoint version {payload.get('version')!r}")
+        target = EngineState.from_dict(payload["state"])
+        expected = target.digest()
+        claimed = payload.get("digest")
+        if claimed is not None and claimed != expected:
+            raise ValueError(
+                f"checkpoint digest mismatch: payload claims {claimed!r} "
+                f"but its state serialises to {expected!r}"
+            )
+        spec = SessionSpec.from_dict(payload["spec"])
+        digest, engine = self._build_engine(spec)
+        state = engine.start()
+        for _ in range(target.round_number):
+            if state.done:
+                break
+            state = engine.step(state)
+        if state.digest() != expected:
+            raise ValueError(
+                "checkpoint does not replay: the rebuilt engine's round "
+                f"{target.round_number} state digests to {state.digest()!r}, "
+                f"checkpoint has {expected!r} (corrupt payload, or the "
+                "market/strategy code differs from the checkpointing process)"
+            )
+        return self._install(
+            spec,
+            digest,
+            engine,
+            state,
+            session_id=session_id,
+            steps=int(payload.get("steps", target.round_number)),
+            pending_restore=True,
+        )
+
+    # ------------------------------------------------------------------
     # Eviction and accounting
     # ------------------------------------------------------------------
     def evict_idle(self, now: float | None = None) -> list[str]:
@@ -323,6 +458,7 @@ class SessionManager:
             sid
             for sid, session in self._sessions.items()
             if now - session.last_active > self.idle_ttl
+            and not session.pending_restore
         ]
         for sid in stale:
             del self._sessions[sid]

@@ -214,10 +214,32 @@ def preset_names() -> tuple[str, ...]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class BaseModelEntry:
-    """One VFL base model: how to pull its overrides from a preset."""
+    """One VFL base model: preset calibration + course builders.
+
+    The builders are what the VFL runner (:mod:`repro.vfl.runner`)
+    dispatches through, so a registered model reaches oracle
+    construction everywhere (``Market.from_spec``, the oracle factory,
+    CLI/HTTP specs):
+
+    * ``isolated(dataset, params, rng) -> float`` — train the task
+      party alone, return its test score (``M0``).
+    * ``joint(dataset, bundle, params, rng, *, channel, task_design,
+      data_design) -> float`` — run the federated protocol on
+      ``bundle``, return the joint test score (``M``).
+
+    ``defaults`` are the protocol's model parameters (``None`` accepts
+    arbitrary overrides verbatim); ``supports_designs`` marks models
+    whose joint builder consumes the oracle factory's pre-binned
+    designs.  Entries without builders can still calibrate presets but
+    cannot run VFL courses.
+    """
 
     name: str
     preset_params_attr: str | None = None
+    defaults: dict | None = None
+    isolated: Callable | None = None
+    joint: Callable | None = None
+    supports_designs: bool = False
 
     def preset_params(self, preset: MarketPreset) -> dict:
         """The preset's model-parameter overrides for this base model."""
@@ -230,10 +252,24 @@ BASE_MODELS = Registry("base model")
 
 
 def register_base_model(
-    name: str, *, preset_params_attr: str | None = None, overwrite: bool = False
+    name: str,
+    *,
+    preset_params_attr: str | None = None,
+    defaults: dict | None = None,
+    isolated: Callable | None = None,
+    joint: Callable | None = None,
+    supports_designs: bool = False,
+    overwrite: bool = False,
 ) -> BaseModelEntry:
-    """Register a base model name (the VFL runner must support it)."""
-    entry = BaseModelEntry(name=name, preset_params_attr=preset_params_attr)
+    """Register a base model (with course builders, runnable end to end)."""
+    entry = BaseModelEntry(
+        name=name,
+        preset_params_attr=preset_params_attr,
+        defaults=dict(defaults) if defaults is not None else None,
+        isolated=isolated,
+        joint=joint,
+        supports_designs=supports_designs,
+    )
     BASE_MODELS.register(name, entry, overwrite=overwrite)
     return entry
 
@@ -399,8 +435,18 @@ def _register_builtin_datasets() -> None:
 
 _register_builtin_datasets()
 
-register_base_model("random_forest", preset_params_attr="rf_params")
-register_base_model("mlp", preset_params_attr="mlp_params")
+
+def _register_builtin_base_models() -> None:
+    # The runner owns the builders (they wrap the ml/vfl substrate);
+    # the registry owns the names.  repro.vfl.runner resolves back
+    # through this registry lazily, so there is no import cycle.
+    from repro.vfl.runner import BUILTIN_BASE_MODELS
+
+    for name, kwargs in BUILTIN_BASE_MODELS.items():
+        register_base_model(name, **kwargs)
+
+
+_register_builtin_base_models()
 
 
 @register_task_strategy("strategic")

@@ -12,38 +12,161 @@ Routes (all bodies and replies are JSON):
 Method   Path                        Meaning
 =======  ==========================  ==========================================
 GET      ``/health``                 liveness probe
+GET      ``/healthz``                liveness + session/job/drain status
 GET      ``/report``                 manager report (markets, sessions, outcomes)
 POST     ``/markets``                build/warm a market from a ``MarketSpec``
 POST     ``/sessions``               open a session from a ``SessionSpec``
 GET      ``/sessions/<id>``          session status
 POST     ``/sessions/<id>/step``     advance (body: ``{"rounds": n}`` or
                                      ``{"until_done": true}``; default 1 round)
+GET      ``/sessions/<id>/state``    checkpoint: the session's engine state
+PUT      ``/sessions/<id>/state``    restore a checkpoint under ``<id>``
 DELETE   ``/sessions/<id>``          close a session
+POST     ``/simulations``            submit a ``SimulationSpec`` job (sharded,
+                                     durable; body may add ``shards``/``chunks``)
+GET      ``/jobs``                   every recorded job's progress
+GET      ``/jobs/<id>``              one job's progress + report when done
 =======  ==========================  ==========================================
 
 Example walkthrough (against ``python -m repro serve --port 8765``)::
 
-    curl -s localhost:8765/health
+    curl -s localhost:8765/healthz
     curl -s -X POST localhost:8765/markets -d '{"dataset": "synthetic"}'
     curl -s -X POST localhost:8765/sessions \
          -d '{"market": {"dataset": "synthetic"}, "seed": 0}'
     curl -s -X POST localhost:8765/sessions/s000000/step \
          -d '{"until_done": true}'
+    curl -s -X POST localhost:8765/simulations \
+         -d '{"sessions": 500, "seed": 0, "shards": 2}'
+    curl -s localhost:8765/jobs
+
+``run_server`` installs a SIGTERM handler for graceful shutdown: the
+listener stops, running jobs drain to the durable store (they resume
+with ``repro jobs resume``), and the process exits 0 — so supervisors
+and CI can ``kill -TERM`` instead of sleeping and hoping.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.manager import SessionManager
-from repro.service.specs import MarketSpec, SessionSpec
+from repro.service.specs import MarketSpec, SessionSpec, SimulationSpec
+from repro.utils.canonical import json_safe
 
-__all__ = ["create_server", "run_server"]
+__all__ = ["JobService", "create_server", "run_server"]
 
-_SESSION_ROUTE = re.compile(r"^/sessions/([^/]+)(/step)?$")
+_SESSION_ROUTE = re.compile(r"^/sessions/([^/]+)(/step|/state)?$")
+_JOB_ROUTE = re.compile(r"^/jobs/([^/]+)$")
+
+
+class JobService:
+    """Background execution of simulation jobs behind the HTTP front door.
+
+    Jobs are durable (the :class:`~repro.jobs.store.JobStore`) and run
+    on daemon threads over the sharded executor; submitting the same
+    spec twice attaches to the standing job instead of duplicating it.
+    ``drain()`` is the graceful-shutdown hook: no further chunks are
+    dispatched, in-flight chunks flush to the store, and interrupted
+    jobs resume later via ``repro jobs resume`` (or a resubmit).
+    """
+
+    def __init__(self, store=None, *, shards: int = 2):
+        self._store = store
+        self.shards = shards
+        self.stop_event = threading.Event()
+        self._threads: dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        # Lazy-init guard for `store` only — deliberately NOT self._lock,
+        # so the property stays safe to call from code holding the
+        # service lock (every handler touches self._lock).
+        self._store_lock = threading.Lock()
+
+    @property
+    def store(self):
+        with self._store_lock:
+            if self._store is None:
+                from repro.jobs import JobStore, default_store_path
+
+                self._store = JobStore(default_store_path())
+            return self._store
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> dict:
+        """Record the job and (re)start its background execution."""
+        from repro.jobs import ShardedExecutor
+
+        body = dict(payload)
+        chunks = body.pop("chunks", None)
+        # Explicit None check: shards=0 is a valid request ("all cores")
+        # and must not fall back to the server default.
+        shards = body.pop("shards", None)
+        if shards is None:
+            shards = self.shards
+        spec = SimulationSpec.from_dict(body)
+        executor = ShardedExecutor(
+            self.store, shards=int(shards), stop_event=self.stop_event
+        )
+        record = executor.submit(spec, chunks=chunks)
+        started = self._start(record.job_id, executor)
+        reply = self.status(record.job_id)
+        reply["started"] = started
+        return reply
+
+    def _start(self, job_id: str, executor) -> bool:
+        def work() -> None:
+            try:
+                executor.run(job_id)
+            except Exception:  # recorded as `failed` in the store
+                pass
+
+        # Check-and-register under one lock acquisition: two concurrent
+        # submits of the same (content-addressed) job must start exactly
+        # one worker thread, not race past each other's liveness check.
+        store = self.store
+        with self._lock:
+            thread = self._threads.get(job_id)
+            if thread is not None and thread.is_alive():
+                return False
+            if store.get(job_id).finished or self.stop_event.is_set():
+                return False
+            thread = threading.Thread(
+                target=work, name=f"job-{job_id}", daemon=True
+            )
+            self._threads[job_id] = thread
+        thread.start()
+        return True
+
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> dict:
+        """One job's progress (plus its report once finished)."""
+        record = self.store.get(job_id)  # KeyError -> 404
+        payload = record.progress()
+        if record.report is not None:
+            payload["report"] = json_safe(record.report)
+        return payload
+
+    def jobs(self) -> list[dict]:
+        return [record.progress() for record in self.store.jobs()]
+
+    def active_jobs(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._threads.values() if t.is_alive())
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop dispatching chunks and wait for in-flight ones to flush."""
+        self.stop_event.set()
+        with self._lock:
+            threads = list(self._threads.values())
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -56,6 +179,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     @property
     def manager(self) -> SessionManager:
         return self.server.manager  # type: ignore[attr-defined]
+
+    @property
+    def jobs(self) -> JobService:
+        return self.server.jobs  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: object) -> None:
         if getattr(self.server, "verbose", False):  # pragma: no cover
@@ -99,10 +226,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         match = _SESSION_ROUTE.match(self.path)
+        job = _JOB_ROUTE.match(self.path)
         if self.path == "/health":
             self._dispatch(lambda: ({"ok": True}, 200))
+        elif self.path == "/healthz":
+            self._dispatch(self._get_healthz)
         elif self.path == "/report":
             self._dispatch(lambda: (self.manager.report(), 200))
+        elif self.path == "/jobs":
+            self._dispatch(lambda: ({"jobs": self.jobs.jobs()}, 200))
+        elif job:
+            job_id = job.group(1)
+            self._dispatch(lambda: (self.jobs.status(job_id), 200))
+        elif match and match.group(2) == "/state":
+            sid = match.group(1)
+            self._dispatch(lambda: (self.manager.checkpoint(sid), 200))
         elif match and not match.group(2):
             sid = match.group(1)
             self._dispatch(lambda: (self.manager.status(sid), 200))
@@ -115,10 +253,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_market)
         elif self.path == "/sessions":
             self._dispatch(self._post_session)
-        elif match and match.group(2):
+        elif self.path == "/simulations":
+            self._dispatch(lambda: (self.jobs.submit(self._body()), 202))
+        elif match and match.group(2) == "/step":
             self._dispatch(lambda: self._post_step(match.group(1)))
         else:
             self._reply({"error": f"no route POST {self.path}"}, 404)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        match = _SESSION_ROUTE.match(self.path)
+        if match and match.group(2) == "/state":
+            sid = match.group(1)
+            self._dispatch(
+                lambda: (
+                    self.manager.status(
+                        self.manager.restore(self._body(), session_id=sid)
+                    ),
+                    201,
+                )
+            )
+        else:
+            self._reply({"error": f"no route PUT {self.path}"}, 404)
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         match = _SESSION_ROUTE.match(self.path)
@@ -127,6 +282,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._dispatch(lambda: ({"closed": self.manager.close(sid)}, 200))
         else:
             self._reply({"error": f"no route DELETE {self.path}"}, 404)
+
+    # ------------------------------------------------------------------
+    def _get_healthz(self) -> tuple[dict, int]:
+        report = self.manager.report()
+        return (
+            {
+                "ok": True,
+                "pid": os.getpid(),
+                "draining": self.jobs.stop_event.is_set(),
+                "sessions": report["sessions"],
+                "markets": len(report["markets"]),
+                "active_jobs": self.jobs.active_jobs(),
+            },
+            200,
+        )
 
     # ------------------------------------------------------------------
     def _post_market(self) -> tuple[dict, int]:
@@ -168,17 +338,21 @@ def create_server(
     port: int = 8765,
     *,
     manager: SessionManager | None = None,
+    jobs: JobService | None = None,
     verbose: bool = False,
 ) -> ThreadingHTTPServer:
     """A ready-to-serve HTTP server bound to ``host:port``.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is
     ``server.server_address``.  The caller owns the serve loop:
-    ``server.serve_forever()`` / ``server.shutdown()``.
+    ``server.serve_forever()`` / ``server.shutdown()``.  ``jobs``
+    defaults to a :class:`JobService` over the default durable store
+    (created lazily on the first submission).
     """
     server = ThreadingHTTPServer((host, port), _ServiceHandler)
     server.daemon_threads = True
     server.manager = manager if manager is not None else SessionManager()  # type: ignore[attr-defined]
+    server.jobs = jobs if jobs is not None else JobService()  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 
@@ -189,20 +363,47 @@ def run_server(
     *,
     idle_ttl: float | None = 900.0,
     max_sessions: int = 4096,
+    job_store: str | None = None,
+    shards: int = 2,
+    drain_timeout: float = 30.0,
     verbose: bool = False,
 ) -> int:
-    """Blocking entry point behind ``python -m repro serve``."""
+    """Blocking entry point behind ``python -m repro serve``.
+
+    Exits gracefully on SIGTERM (and Ctrl-C): the listener stops, any
+    running jobs drain to the durable store — in-flight chunks flush,
+    so ``repro jobs resume`` picks up exactly where the server stopped
+    — and the process returns 0.
+    """
+    import signal
+
+    from repro.jobs import JobStore, default_store_path
+
     manager = SessionManager(max_sessions=max_sessions, idle_ttl=idle_ttl or None)
-    server = create_server(host, port, manager=manager, verbose=verbose)
+    jobs = JobService(JobStore(job_store or default_store_path()), shards=shards)
+    server = create_server(host, port, manager=manager, jobs=jobs,
+                           verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
+
+    def _terminate(signum: int, frame: object) -> None:  # pragma: no cover
+        # serve_forever() blocks this (main) thread; shutdown() must be
+        # called from another one.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     print(f"repro marketplace service on http://{bound_host}:{bound_port} "
-          f"(Ctrl-C to stop)")
+          f"(SIGTERM or Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        jobs.drain(timeout=drain_timeout)
         server.server_close()
+        print("repro marketplace service drained and stopped")
     return 0
 
 
@@ -217,5 +418,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default 900; 0 disables)")
     parser.add_argument("--max-sessions", type=int, default=4096,
                         help="resident-session cap (default 4096)")
+    parser.add_argument("--job-store", default=None, metavar="PATH",
+                        help="durable job store (default: $REPRO_JOB_STORE "
+                             "or ~/.cache/repro/jobs.sqlite3)")
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="worker shards for submitted jobs (default 2; "
+                             "0 = all cores)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        metavar="SECS",
+                        help="grace for in-flight job chunks on shutdown")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request")

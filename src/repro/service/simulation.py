@@ -14,7 +14,35 @@ from __future__ import annotations
 from repro.service.manager import MarketPool, shared_pool
 from repro.service.specs import MarketSpec, SimulationSpec
 
-__all__ = ["run_simulation"]
+__all__ = ["backing_market_spec", "run_simulation"]
+
+
+def backing_market_spec(spec: SimulationSpec) -> MarketSpec | None:
+    """The oracle-backing market spec, experiment-scale aware.
+
+    The single resolution rule shared by :func:`run_simulation`'s
+    default path and the jobs executor's workers
+    (:mod:`repro.jobs.executor`), so ``repro simulate --dataset`` and a
+    sharded job of the same :class:`SimulationSpec` build the same
+    oracle — and digest-match — under every ``REPRO_*`` scale tier
+    (notably ``REPRO_FULL=1``).
+    """
+    if spec.dataset is None:
+        return None
+    from repro.experiments import spec_for
+
+    cache = None
+    if not spec.no_cache:
+        from repro.oracle_factory import default_cache_dir
+
+        cache = spec.cache_dir or default_cache_dir()
+    return spec_for(
+        spec.dataset,
+        spec.base_model,
+        seed=spec.seed,
+        jobs=spec.jobs,
+        cache=cache,
+    )
 
 
 def run_simulation(
@@ -30,11 +58,9 @@ def run_simulation(
     :class:`~repro.simulate.pool.PoolResult`, and the aggregate
     :class:`~repro.simulate.report.SimulationReport`.
 
-    ``market_spec`` overrides the oracle-backing market description
-    (the CLI passes the experiment-scale-aware spec from
-    :func:`repro.experiments.runner.spec_for`); by default the
-    spec's own :meth:`~repro.service.specs.SimulationSpec.market_spec`
-    is used.
+    ``market_spec`` overrides the oracle-backing market description; by
+    default :func:`backing_market_spec` resolves it (experiment-scale
+    aware, matching what the CLI and the jobs executor build).
     """
     from repro.simulate.pool import SessionPool
     from repro.simulate.report import build_report
@@ -42,7 +68,9 @@ def run_simulation(
 
     oracle = None
     if spec.dataset is not None:
-        backing = market_spec if market_spec is not None else spec.market_spec()
+        backing = (
+            market_spec if market_spec is not None else backing_market_spec(spec)
+        )
         market = (pool if pool is not None else shared_pool()).get(backing)
         oracle = market.oracle
     population = sample_population(

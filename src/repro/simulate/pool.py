@@ -39,7 +39,31 @@ from repro.simulate.kernel import (
 from repro.simulate.population import Population
 from repro.utils.validation import require
 
-__all__ = ["PoolResult", "SessionPool"]
+__all__ = ["PoolResult", "SessionPool", "session_record_arrays"]
+
+
+def session_record_arrays(n: int) -> dict[str, np.ndarray]:
+    """Zero/NaN-filled terminal-record arrays for ``n`` sessions.
+
+    The single definition of :class:`PoolResult`'s per-session array
+    layout (names, dtypes, fill values), shared by
+    :meth:`SessionPool.run` and the jobs merger
+    (:func:`repro.jobs.executor.merge_simulation_chunks`) — the
+    bit-identical-merge guarantee rides on the two never drifting.
+    """
+    return {
+        "status": np.zeros(n, dtype=np.int8),
+        "terminated_by": np.zeros(n, dtype=np.int8),
+        "n_rounds": np.zeros(n, dtype=np.int32),
+        "delta_g": np.full(n, np.nan),
+        "payment": np.zeros(n),
+        "net_profit": np.zeros(n),
+        "cost_task": np.zeros(n),
+        "cost_data": np.zeros(n),
+        "final_rate": np.full(n, np.nan),
+        "final_base": np.full(n, np.nan),
+        "final_cap": np.full(n, np.nan),
+    }
 
 _STATUS_CODES = {
     "accepted": STATUS_ACCEPTED,
@@ -76,6 +100,11 @@ class PoolResult:
     oracle_queries: int
     oracle_hits: int
     elapsed: float
+    #: Distinct bundles the stepwise sessions queried (index tuples).
+    #: A sharded executor merging per-shard results recovers the
+    #: single-process cache-hit count from these: every first query of
+    #: a bundle is a miss, so ``hits = queries - |union of bundles|``.
+    queried_bundles: tuple[tuple[int, ...], ...] = ()
 
     @property
     def accepted(self) -> np.ndarray:
@@ -109,33 +138,36 @@ class SessionPool:
         self.batch_size = int(batch_size)
 
     # ------------------------------------------------------------------
-    def run(self) -> PoolResult:
-        """Play every session to termination and collect terminal records."""
+    def run(self, *, indices: np.ndarray | None = None) -> PoolResult:
+        """Play sessions to termination and collect terminal records.
+
+        ``indices`` restricts execution to a subset of the population
+        (a *shard*): only those sessions are advanced, and the returned
+        arrays carry their terminal records at their original positions
+        (other rows keep the zero/NaN fill).  Because every session
+        draws from its own seeded RNG stream, a session's record is
+        identical whether it runs alone, in any batch, or in any shard
+        — which is what lets :mod:`repro.jobs` split one population
+        across worker processes and merge a bit-identical result.
+        """
         pop = self.population
         n = pop.n_sessions
-        arrays = {
-            "status": np.zeros(n, dtype=np.int8),
-            "terminated_by": np.zeros(n, dtype=np.int8),
-            "n_rounds": np.zeros(n, dtype=np.int32),
-            "delta_g": np.full(n, np.nan),
-            "payment": np.zeros(n),
-            "net_profit": np.zeros(n),
-            "cost_task": np.zeros(n),
-            "cost_data": np.zeros(n),
-            "final_rate": np.full(n, np.nan),
-            "final_base": np.full(n, np.nan),
-            "final_cap": np.full(n, np.nan),
-        }
+        member = np.zeros(n, dtype=bool)
+        if indices is None:
+            member[:] = True
+        else:
+            member[np.asarray(indices, dtype=int)] = True
+        arrays = session_record_arrays(n)
         t0 = time.perf_counter()
 
         eligible = pop.kernel_eligible()
-        kernel_idx = np.flatnonzero(eligible)
+        kernel_idx = np.flatnonzero(eligible & member)
         for batch in _chunks(kernel_idx, self.batch_size):
             out = simulate_strategic_batch(pop, batch)
             for key, values in out.items():
                 arrays[key][batch] = values
 
-        stepped_idx = np.flatnonzero(~eligible)
+        stepped_idx = np.flatnonzero(~eligible & member)
         oracle = MemoisedOracle(pop.oracle)
         for batch in _chunks(stepped_idx, self.batch_size):
             self._run_stepwise(batch, oracle, arrays)
@@ -148,6 +180,9 @@ class SessionPool:
             oracle_queries=oracle.query_count,
             oracle_hits=oracle.hit_count,
             elapsed=elapsed,
+            queried_bundles=tuple(
+                sorted(b.indices for b in oracle.queried_bundles())
+            ),
         )
 
     # ------------------------------------------------------------------

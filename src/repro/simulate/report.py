@@ -25,7 +25,7 @@ from repro.simulate.kernel import STATUS_ACCEPTED, STATUS_FAILED, STATUS_MAX_ROU
 from repro.simulate.pool import PoolResult
 from repro.simulate.population import Population
 
-__all__ = ["SimulationReport", "build_report"]
+__all__ = ["SimulationReport", "build_report", "report_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -244,3 +244,44 @@ def build_report(
 def _hist(values: np.ndarray, n_bins: int):
     edges, counts = histogram(values, n_bins=n_bins)
     return tuple(float(e) for e in edges), tuple(int(c) for c in counts)
+
+
+# Scalar fields that may legitimately be NaN (no accepted sessions);
+# wire payloads carry them as null, report_from_dict restores the NaN.
+_NULLABLE_FLOATS = (
+    "payment_mean", "payment_std", "net_profit_mean", "net_profit_std",
+    "delta_g_mean",
+)
+
+
+def report_from_dict(payload: dict) -> SimulationReport:
+    """Rebuild a :class:`SimulationReport` from its ``asdict`` form.
+
+    Accepts both the store's exact JSON (NaN preserved) and wire-safe
+    payloads (NaN exported as ``null``); the rebuilt report digests
+    identically to the original, which is how ``repro jobs status``
+    re-renders and re-verifies a finished job's stored report.
+    """
+    data = {k: v for k, v in payload.items() if k != "digest"}
+
+    def _nan(value):
+        return float("nan") if value is None else float(value)
+
+    for name in _NULLABLE_FLOATS:
+        data[name] = _nan(data[name])
+    for name in ("payment_hist", "net_profit_hist", "rounds_hist"):
+        edges, counts = data[name]
+        data[name] = (tuple(float(e) for e in edges),
+                      tuple(int(c) for c in counts))
+    data["mix"] = tuple(
+        MixBreakdown(
+            label=row["label"],
+            count=int(row["count"]),
+            acceptance_rate=float(row["acceptance_rate"]),
+            mean_rounds=float(row["mean_rounds"]),
+            mean_net_profit=_nan(row["mean_net_profit"]),
+            mean_payment=_nan(row["mean_payment"]),
+        )
+        for row in data["mix"]
+    )
+    return SimulationReport(**data)

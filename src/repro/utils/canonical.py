@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 
-__all__ = ["canonical_json", "content_digest"]
+__all__ = ["canonical_json", "content_digest", "json_safe"]
 
 
 def canonical_json(obj: object) -> str:
@@ -40,3 +41,20 @@ def content_digest(obj: object, *, length: int = 16) -> str:
     blob = canonical_json(obj).encode("utf-8")
     digest = hashlib.sha256(blob).hexdigest()
     return digest[:length] if length < 64 else digest
+
+
+def json_safe(value: object) -> object:
+    """Recursively coerce ``value`` to strict-JSON-safe form.
+
+    NaN/±Infinity are not valid JSON tokens; strict parsers (``jq``,
+    ``JSON.parse``) reject them, so every wire-facing payload (CLI
+    ``--json`` dumps, server replies) exports them as ``null``.  Tuples
+    become lists.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value

@@ -5,6 +5,16 @@ it trains the task party's isolated model (``M0``), runs the federated
 protocol on a feature bundle (``M``), and returns the paper's
 performance gain ``ΔG = (M − M0) / M0`` (Eq. 1) along with channel
 traffic statistics.
+
+Base models resolve through the service registry
+(:mod:`repro.service.registry`): a
+:func:`~repro.service.registry.register_base_model` call with course
+builders makes a custom protocol trainable everywhere a built-in one is
+— ``Market.from_spec`` oracle construction, the oracle factory, the
+CLI's ``--model``/``--base-model`` choices, and HTTP specs.  The
+built-in protocols (federated random forest, SplitNN) are described by
+:data:`BUILTIN_BASE_MODELS` and registered by the registry module at
+import time.
 """
 
 from __future__ import annotations
@@ -25,12 +35,15 @@ from repro.vfl.splitnn import SplitNN
 
 __all__ = [
     "BASE_MODELS",
+    "BUILTIN_BASE_MODELS",
     "VFLResult",
     "isolated_performance",
     "resolve_model_params",
     "run_vfl",
 ]
 
+#: The built-in protocol names (legacy constant; validation now goes
+#: through the registry, so registered custom models are equally valid).
 BASE_MODELS = ("random_forest", "mlp")
 
 _RF_DEFAULTS = {
@@ -76,17 +89,138 @@ def _merged(defaults: dict, overrides: dict | None) -> dict:
     return params
 
 
+def _entry(base_model: str):
+    """The registered base-model entry (the validation choke point)."""
+    from repro.service import registry
+
+    if base_model not in registry.BASE_MODELS:
+        raise ValueError(
+            f"unknown base_model {base_model!r}; registered: "
+            f"{list(registry.base_model_names())}"
+        )
+    return registry.BASE_MODELS.get(base_model)
+
+
 def resolve_model_params(base_model: str, overrides: dict | None = None) -> dict:
     """Protocol defaults merged with ``overrides`` (rejecting unknown keys).
 
     The resolved dict is what a course actually trains with — the
     oracle factory fingerprints it for its persistent gain cache.
+    Entries registered without ``defaults`` accept overrides verbatim.
     """
-    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
-    defaults = _RF_DEFAULTS if base_model == "random_forest" else _MLP_DEFAULTS
-    return _merged(defaults, overrides)
+    entry = _entry(base_model)
+    if entry.defaults is None:
+        return dict(overrides or {})
+    return _merged(entry.defaults, overrides)
 
 
+# ----------------------------------------------------------------------
+# Built-in course builders (the registry registers these under
+# "random_forest" / "mlp"; custom models supply their own pair).
+# ----------------------------------------------------------------------
+def _rf_isolated(dataset: PartitionedDataset, params: dict, rng) -> float:
+    model = RandomForestClassifier(
+        params["n_estimators"],
+        max_depth=params["max_depth"],
+        min_samples_leaf=params["min_samples_leaf"],
+        max_features=params["max_features"],
+        max_bins=params["max_bins"],
+        rng=rng,
+    )
+    model.fit(dataset.task_train, dataset.y_train.astype(np.float64))
+    return model.score(dataset.task_test, dataset.y_test)
+
+
+def _mlp_isolated(dataset: PartitionedDataset, params: dict, rng) -> float:
+    model = MLPClassifier(
+        (params["embed_dim"], params["top_hidden"]),
+        epochs=params["epochs"],
+        batch_size=params["batch_size"],
+        lr=params["lr"],
+        rng=rng,
+    )
+    model.fit(dataset.task_train, dataset.y_train.astype(np.float64))
+    return model.score(dataset.task_test, dataset.y_test)
+
+
+def _rf_joint(
+    dataset: PartitionedDataset,
+    bundle: tuple[int, ...],
+    params: dict,
+    rng,
+    *,
+    channel: Channel,
+    task_design: object = None,
+    data_design: object = None,
+) -> float:
+    task, data = parties_from_dataset(dataset)
+    forest = FederatedForest(
+        params["n_estimators"],
+        max_depth=params["max_depth"],
+        min_samples_leaf=params["min_samples_leaf"],
+        max_features=params["max_features"],
+        max_bins=params["max_bins"],
+        rng=rng,
+    )
+    forest.fit(
+        task,
+        data,
+        bundle,
+        channel,
+        task_design=task_design,
+        data_design=data_design,
+    )
+    return forest.score(task.test_idx, task.y_test.astype(np.int64), channel)
+
+
+def _mlp_joint(
+    dataset: PartitionedDataset,
+    bundle: tuple[int, ...],
+    params: dict,
+    rng,
+    *,
+    channel: Channel,
+    task_design: object = None,
+    data_design: object = None,
+) -> float:
+    task, data = parties_from_dataset(dataset)
+    net = SplitNN(
+        task.d,
+        len(bundle),
+        embed_dim=params["embed_dim"],
+        top_hidden=params["top_hidden"],
+        epochs=params["epochs"],
+        batch_size=params["batch_size"],
+        lr=params["lr"],
+        rng=rng,
+    )
+    net.fit(task, data, bundle, channel)
+    return net.score(task.test_idx, task.y_test.astype(np.int64), channel)
+
+
+#: What the registry registers for the built-in protocols: keyword
+#: arguments for :func:`repro.service.registry.register_base_model`.
+BUILTIN_BASE_MODELS = {
+    "random_forest": {
+        "preset_params_attr": "rf_params",
+        "defaults": _RF_DEFAULTS,
+        "isolated": _rf_isolated,
+        "joint": _rf_joint,
+        "supports_designs": True,
+    },
+    "mlp": {
+        "preset_params_attr": "mlp_params",
+        "defaults": _MLP_DEFAULTS,
+        "isolated": _mlp_isolated,
+        "joint": _mlp_joint,
+        "supports_designs": False,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Course execution
+# ----------------------------------------------------------------------
 def isolated_performance(
     dataset: PartitionedDataset,
     *,
@@ -95,29 +229,15 @@ def isolated_performance(
     seed: object = 0,
 ) -> float:
     """Test accuracy of the task party training alone (``M0``)."""
-    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    entry = _entry(base_model)
+    require(
+        entry.isolated is not None,
+        f"base model {base_model!r} was registered without course "
+        f"builders; pass isolated=/joint= to register_base_model",
+    )
+    params = resolve_model_params(base_model, model_params)
     rng = spawn(seed, dataset.name, base_model, "isolated")
-    if base_model == "random_forest":
-        params = _merged(_RF_DEFAULTS, model_params)
-        model = RandomForestClassifier(
-            params["n_estimators"],
-            max_depth=params["max_depth"],
-            min_samples_leaf=params["min_samples_leaf"],
-            max_features=params["max_features"],
-            max_bins=params["max_bins"],
-            rng=rng,
-        )
-    else:
-        params = _merged(_MLP_DEFAULTS, model_params)
-        model = MLPClassifier(
-            (params["embed_dim"], params["top_hidden"]),
-            epochs=params["epochs"],
-            batch_size=params["batch_size"],
-            lr=params["lr"],
-            rng=rng,
-        )
-    model.fit(dataset.task_train, dataset.y_train.astype(np.float64))
-    return model.score(dataset.task_test, dataset.y_test)
+    return float(entry.isolated(dataset, params, rng))
 
 
 def run_vfl(
@@ -141,7 +261,8 @@ def run_vfl(
     bundle:
         Data-party feature indices to train on.
     base_model:
-        ``"random_forest"`` (federated forest) or ``"mlp"`` (SplitNN).
+        Any registered base model — ``"random_forest"`` (federated
+        forest), ``"mlp"`` (SplitNN), or a custom registration.
     model_params:
         Overrides for the protocol defaults.
     seed:
@@ -157,55 +278,47 @@ def run_vfl(
         columns (training rows).  The oracle factory bins each party's
         full matrix once and passes column slices here, skipping the
         per-course re-bin; results are identical either way.  Only
-        meaningful for ``base_model="random_forest"``.
+        meaningful for base models registered with
+        ``supports_designs=True``.
     """
-    require(base_model in BASE_MODELS, f"base_model must be one of {BASE_MODELS}")
+    entry = _entry(base_model)
     require(
-        base_model == "random_forest" or (task_design is None and data_design is None),
-        "pre-binned designs only apply to the random_forest protocol",
+        entry.joint is not None,
+        f"base model {base_model!r} was registered without course "
+        f"builders; pass isolated=/joint= to register_base_model",
     )
+    if not entry.supports_designs and (
+        task_design is not None or data_design is not None
+    ):
+        from repro.service import registry
+
+        supported = [
+            name
+            for name in registry.base_model_names()
+            if registry.BASE_MODELS.get(name).supports_designs
+        ]
+        raise ValueError(
+            f"pre-binned designs are not supported by base model "
+            f"{base_model!r} (design-capable: {supported})"
+        )
     bundle = tuple(int(i) for i in bundle)
     require(len(bundle) >= 1, "bundle must contain at least one feature")
-    task, data = parties_from_dataset(dataset)
     channel = channel if channel is not None else Channel()
     if m0 is None:
         m0 = isolated_performance(
             dataset, base_model=base_model, model_params=model_params, seed=seed
         )
+    params = resolve_model_params(base_model, model_params)
     rng = spawn(seed, dataset.name, base_model, "joint", bundle)
-    if base_model == "random_forest":
-        params = _merged(_RF_DEFAULTS, model_params)
-        forest = FederatedForest(
-            params["n_estimators"],
-            max_depth=params["max_depth"],
-            min_samples_leaf=params["min_samples_leaf"],
-            max_features=params["max_features"],
-            max_bins=params["max_bins"],
-            rng=rng,
-        )
-        forest.fit(
-            task,
-            data,
-            bundle,
-            channel,
-            task_design=task_design,
-            data_design=data_design,
-        )
-        m = forest.score(task.test_idx, task.y_test.astype(np.int64), channel)
-    else:
-        params = _merged(_MLP_DEFAULTS, model_params)
-        net = SplitNN(
-            task.d,
-            len(bundle),
-            embed_dim=params["embed_dim"],
-            top_hidden=params["top_hidden"],
-            epochs=params["epochs"],
-            batch_size=params["batch_size"],
-            lr=params["lr"],
-            rng=rng,
-        )
-        net.fit(task, data, bundle, channel)
-        m = net.score(task.test_idx, task.y_test.astype(np.int64), channel)
+    m = entry.joint(
+        dataset,
+        bundle,
+        params,
+        rng,
+        channel=channel,
+        task_design=task_design,
+        data_design=data_design,
+    )
     return VFLResult(
         bundle=bundle,
         base_model=base_model,

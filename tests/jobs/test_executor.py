@@ -1,0 +1,140 @@
+"""ShardedExecutor: bit-identical merges, kill/resume, batch jobs.
+
+The acceptance contract of the jobs subsystem: for a fixed
+``SimulationSpec``, the merged report digest from the sharded executor
+— any shard count, any chunking, including after an interruption
+resumed through the JobStore — equals the single-process
+``SessionPool`` digest.
+"""
+
+import threading
+
+import pytest
+
+from repro.jobs import JobStore, ShardedExecutor
+from repro.service import (
+    BatchSpec,
+    MarketSpec,
+    SessionSpec,
+    SimulationSpec,
+    run_simulation,
+)
+from repro.service.manager import shared_pool
+from repro.utils.canonical import content_digest
+
+# A mixed population: strategic/strategic rides the vectorised kernel,
+# the other pairs (and the linear-cost sessions) run stepwise through
+# the memoised oracle — exercising every merge path, including the
+# cross-shard oracle hit accounting.
+MIXED = SimulationSpec(
+    sessions=120,
+    seed=3,
+    batch_size=32,
+    strategy_mix=(
+        ("strategic", "strategic", 0.5),
+        ("increase_price", "strategic", 0.3),
+        ("strategic", "random_bundle", 0.2),
+    ),
+    cost_mix=(("none", 0.0, 0.6), ("linear", 0.005, 0.4)),
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "jobs.sqlite3"))
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    _, _, report = run_simulation(MIXED)
+    return report.digest()
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("shards,chunks", [(1, 1), (2, 4), (3, 7)])
+    def test_merged_digest_equals_single_process(
+        self, store, reference_digest, shards, chunks
+    ):
+        executor = ShardedExecutor(store, shards=shards)
+        record = executor.submit(MIXED, chunks=chunks)
+        done = executor.run(record.job_id)
+        assert done.finished
+        assert done.digest == reference_digest
+        # Oracle accounting merged exactly, not just the digest field.
+        assert done.report["oracle_queries"] >= done.report["oracle_hits"] >= 0
+
+    def test_rerun_of_finished_job_is_a_noop(self, store, reference_digest):
+        executor = ShardedExecutor(store, shards=2)
+        record = executor.submit(MIXED, chunks=4)
+        first = executor.run(record.job_id)
+        again = executor.run(record.job_id)
+        assert again.digest == first.digest == reference_digest
+
+
+class TestInterruptionAndResume:
+    def test_max_chunks_interrupts_then_resume_completes(
+        self, store, reference_digest
+    ):
+        """Deterministic mid-run stop: only some chunks land, the job is
+        'interrupted', and a *fresh executor over a reopened store* (the
+        post-crash process) finishes the remainder to the same digest."""
+        executor = ShardedExecutor(store, shards=2, max_chunks=2)
+        record = executor.submit(MIXED, chunks=6)
+        stopped = executor.run(record.job_id)
+        assert stopped.status == "interrupted"
+        assert 0 < stopped.done_chunks < stopped.n_chunks
+
+        resumed_store = JobStore(store.path)  # simulate a new process
+        resumed = ShardedExecutor(resumed_store, shards=2).run(record.job_id)
+        assert resumed.finished
+        assert resumed.digest == reference_digest
+
+    def test_stop_event_leaves_job_resumable(self, store, reference_digest):
+        stop = threading.Event()
+        stop.set()  # drain immediately: no chunk may be dispatched
+        executor = ShardedExecutor(store, shards=2, stop_event=stop)
+        record = executor.submit(MIXED, chunks=4)
+        stopped = executor.run(record.job_id)
+        assert stopped.status == "interrupted"
+        assert stopped.done_chunks == 0
+        resumed = ShardedExecutor(store, shards=2).run(record.job_id)
+        assert resumed.digest == reference_digest
+
+
+class TestBatchJobs:
+    SPEC = BatchSpec(
+        session=SessionSpec(
+            market=MarketSpec(dataset="synthetic", seed=5), seed=0
+        ),
+        runs=12,
+    )
+
+    def test_batch_matches_bargain_many(self, store):
+        from repro.service.manager import _outcome_dict
+
+        executor = ShardedExecutor(store, shards=2)
+        record = executor.submit(self.SPEC, chunks=3)
+        done = executor.run(record.job_id)
+        assert done.finished
+
+        market = shared_pool().get(self.SPEC.session.market)
+        expected = [
+            _outcome_dict(o)
+            for o in market.bargain_many(self.SPEC.runs, base_seed=0)
+        ]
+        assert done.report["outcomes"] == expected
+        assert done.report["digest"] == content_digest(expected)
+        assert done.report["accepted"] == sum(
+            1 for o in expected if o["status"] == "accepted"
+        )
+
+    def test_batch_spec_validation(self):
+        with pytest.raises(ValueError, match="run must be None"):
+            BatchSpec(
+                session=SessionSpec(
+                    market=MarketSpec(dataset="synthetic"), run=3
+                ),
+                runs=4,
+            )
+        with pytest.raises(ValueError, match="full MarketSpec"):
+            BatchSpec(session=SessionSpec(market="abc123"), runs=4)

@@ -1,0 +1,191 @@
+"""HTTP jobs + checkpoint/restore over the wire.
+
+``POST /simulations`` submits durable sharded jobs; ``GET /jobs/<id>``
+polls their progress; ``GET``/``PUT /sessions/<id>/state`` ship an
+in-flight session between two live servers with a bit-identical
+remaining trace.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.jobs import JobStore
+from repro.service import (
+    MarketPool,
+    SessionManager,
+    SimulationSpec,
+    create_server,
+    run_simulation,
+)
+from repro.service.server import JobService
+
+SIM = {"sessions": 60, "seed": 9, "batch_size": 16}
+
+
+def _call(url, method="GET", body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = JobStore(str(tmp_path / "jobs.sqlite3"))
+    manager = SessionManager(pool=MarketPool())
+    server = create_server(
+        port=0, manager=manager, jobs=JobService(store, shards=2)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield {"url": f"http://{host}:{port}", "store": store, "server": server}
+    server.shutdown()
+    server.server_close()
+
+
+class TestHealthz:
+    def test_healthz_reports_liveness(self, service):
+        status, payload = _call(f"{service['url']}/healthz")
+        assert status == 200
+        assert payload["ok"] and not payload["draining"]
+        assert payload["pid"] > 0
+        assert payload["sessions"]["resident"] == 0
+        assert payload["active_jobs"] == 0
+
+
+class TestSimulationJobs:
+    def _wait_done(self, url, job_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, payload = _call(f"{url}/jobs/{job_id}")
+            assert status == 200, payload
+            if payload["status"] in ("done", "failed"):
+                return payload
+            time.sleep(0.1)
+        raise AssertionError(f"job {job_id} did not finish: {payload}")
+
+    def test_submit_poll_report_digest(self, service):
+        status, submitted = _call(
+            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+        )
+        assert status == 202, submitted
+        assert submitted["status"] in ("submitted", "running", "done")
+        final = self._wait_done(service["url"], submitted["job"])
+        assert final["status"] == "done"
+        assert final["chunks_done"] == final["chunks"] == 3
+
+        _, _, reference = run_simulation(SimulationSpec.from_dict(SIM))
+        assert final["digest"] == reference.digest()
+        # The stored report rides along, wire-safe (no NaN tokens).
+        assert final["report"]["n_sessions"] == SIM["sessions"]
+
+    def test_resubmit_attaches_to_finished_job(self, service):
+        _, submitted = _call(
+            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+        )
+        self._wait_done(service["url"], submitted["job"])
+        status, again = _call(
+            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+        )
+        assert status == 202
+        assert again["job"] == submitted["job"]
+        assert again["status"] == "done" and not again["started"]
+
+    def test_jobs_listing_and_unknown_job(self, service):
+        _, submitted = _call(
+            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 2}
+        )
+        status, listing = _call(f"{service['url']}/jobs")
+        assert status == 200
+        assert submitted["job"] in {j["job"] for j in listing["jobs"]}
+        status, error = _call(f"{service['url']}/jobs/jdeadbeef")
+        assert status == 404 and "unknown job" in error["error"]
+
+    def test_invalid_spec_rejected(self, service):
+        status, error = _call(
+            f"{service['url']}/simulations", "POST", {"sessions": -1}
+        )
+        assert status == 400 and "sessions" in error["error"]
+
+
+class TestCheckpointOverTheWire:
+    def test_ship_session_between_two_servers(self, service, tmp_path):
+        url = service["url"]
+        _, opened = _call(
+            f"{url}/sessions", "POST",
+            {"market": {"dataset": "synthetic", "seed": 2}, "seed": 0},
+        )
+        sid = opened["session"]
+        _call(f"{url}/sessions/{sid}/step", "POST", {"rounds": 2})
+        status, checkpoint = _call(f"{url}/sessions/{sid}/state")
+        assert status == 200
+        assert checkpoint["state"]["round_number"] == 2
+
+        # A second, cold server (fresh pool, fresh store).
+        other = create_server(
+            port=0,
+            manager=SessionManager(pool=MarketPool()),
+            jobs=JobService(JobStore(str(tmp_path / "other.sqlite3"))),
+        )
+        thread = threading.Thread(target=other.serve_forever, daemon=True)
+        thread.start()
+        try:
+            other_url = "http://%s:%s" % other.server_address[:2]
+            status, restored = _call(
+                f"{other_url}/sessions/{sid}/state", "PUT", checkpoint
+            )
+            assert status == 201, restored
+            assert restored["session"] == sid
+            assert restored["round"] == 2
+
+            _, final_a = _call(f"{url}/sessions/{sid}/step", "POST",
+                               {"until_done": True})
+            _, final_b = _call(f"{other_url}/sessions/{sid}/step", "POST",
+                               {"until_done": True})
+            assert final_a["done"] and final_b["done"]
+            assert final_a["outcome"] == final_b["outcome"]
+        finally:
+            other.shutdown()
+            other.server_close()
+
+    def test_tampered_checkpoint_rejected_with_400(self, service):
+        url = service["url"]
+        _, opened = _call(
+            f"{url}/sessions", "POST",
+            {"market": {"dataset": "synthetic", "seed": 2}, "seed": 1},
+        )
+        sid = opened["session"]
+        _call(f"{url}/sessions/{sid}/step", "POST", {"rounds": 1})
+        _, checkpoint = _call(f"{url}/sessions/{sid}/state")
+        checkpoint["state"]["quote"]["base"] += 0.5
+        status, error = _call(
+            f"{url}/sessions/fresh-id/state", "PUT", checkpoint
+        )
+        assert status == 400 and "digest mismatch" in error["error"]
+
+
+class TestDrain:
+    def test_drain_interrupts_jobs_resumably(self, service):
+        server = service["server"]
+        jobs: JobService = server.jobs
+        jobs.stop_event.set()  # what SIGTERM triggers before joining
+        status, payload = _call(f"{service['url']}/healthz")
+        assert payload["draining"]
+        # A submit during drain records the job but does not start it.
+        status, submitted = _call(
+            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 2}
+        )
+        assert status == 202
+        assert not submitted["started"]
+        record = service["store"].get(submitted["job"])
+        assert not record.finished
+        jobs.drain(timeout=5.0)

@@ -1,0 +1,107 @@
+"""JobStore durability and content-addressing."""
+
+import pytest
+
+from repro.jobs import JobStore, chunk_layout
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "jobs.sqlite3"))
+
+
+SPEC = {"sessions": 10, "seed": 0}
+LAYOUT = [(0, 5), (5, 10)]
+
+
+class TestSubmission:
+    def test_submit_and_get(self, store):
+        record = store.submit("simulation", SPEC, LAYOUT)
+        assert record.status == "submitted"
+        assert record.spec == SPEC
+        assert record.chunks == ((0, 5), (5, 10))
+        assert record.done_chunks == 0 and record.n_chunks == 2
+
+    def test_submit_is_idempotent(self, store):
+        first = store.submit("simulation", SPEC, LAYOUT)
+        store.record_chunk(first.job_id, 0, {"start": 0, "stop": 5})
+        again = store.submit("simulation", SPEC, LAYOUT)
+        assert again.job_id == first.job_id
+        assert again.done_chunks == 1  # progress survives resubmission
+
+    def test_content_addressing(self, store):
+        a = store.submit("simulation", SPEC, LAYOUT)
+        b = store.submit("simulation", {**SPEC, "seed": 1}, LAYOUT)
+        c = store.submit("simulation", SPEC, [(0, 10)])
+        assert len({a.job_id, b.job_id, c.job_id}) == 3
+
+    def test_unknown_job(self, store):
+        with pytest.raises(KeyError, match="unknown job"):
+            store.get("jdeadbeef")
+
+
+class TestChunkProgress:
+    def test_record_and_pending(self, store):
+        record = store.submit("simulation", SPEC, LAYOUT)
+        assert store.pending_chunks(record.job_id) == [(0, 0, 5), (1, 5, 10)]
+        store.record_chunk(record.job_id, 1, {"start": 5, "stop": 10},
+                           elapsed=0.5)
+        assert store.pending_chunks(record.job_id) == [(0, 0, 5)]
+        assert store.chunk_results(record.job_id) == {
+            1: {"start": 5, "stop": 10}
+        }
+
+    def test_unknown_chunk_rejected(self, store):
+        record = store.submit("simulation", SPEC, LAYOUT)
+        with pytest.raises(ValueError, match="no chunk"):
+            store.record_chunk(record.job_id, 7, {})
+
+    def test_nan_results_round_trip(self, store):
+        record = store.submit("simulation", SPEC, LAYOUT)
+        store.record_chunk(record.job_id, 0, {"delta_g": [float("nan"), 0.5]})
+        values = store.chunk_results(record.job_id)[0]["delta_g"]
+        assert values[0] != values[0] and values[1] == 0.5
+
+
+class TestDurability:
+    def test_progress_survives_reopen(self, store):
+        """The crash contract: a second store over the same file (a new
+        process after kill -9) sees every committed chunk."""
+        record = store.submit("simulation", SPEC, LAYOUT)
+        store.record_chunk(record.job_id, 0, {"start": 0, "stop": 5})
+        store.set_status(record.job_id, "running")
+
+        reopened = JobStore(store.path)
+        back = reopened.get(record.job_id)
+        assert back.status == "running"
+        assert back.done_chunks == 1
+        assert reopened.pending_chunks(record.job_id) == [(1, 5, 10)]
+
+    def test_finish_records_report(self, store):
+        record = store.submit("simulation", SPEC, LAYOUT)
+        store.finish(record.job_id, {"accepted": 3}, "abc123")
+        done = JobStore(store.path).get(record.job_id)
+        assert done.finished
+        assert done.report == {"accepted": 3}
+        assert done.digest == "abc123"
+
+    def test_jobs_listing_newest_first(self, store):
+        a = store.submit("simulation", SPEC, LAYOUT)
+        b = store.submit("batch", SPEC, LAYOUT)
+        listed = store.jobs()
+        assert {r.job_id for r in listed} == {a.job_id, b.job_id}
+
+
+class TestChunkLayout:
+    def test_covers_range_exactly(self):
+        layout = chunk_layout(103, 8)
+        assert layout[0][0] == 0 and layout[-1][1] == 103
+        assert all(a[1] == b[0] for a, b in zip(layout, layout[1:]))
+        sizes = [stop - start for start, stop in layout]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        assert chunk_layout(3, 10) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_chunk(self):
+        assert chunk_layout(5, 1) == [(0, 5)]

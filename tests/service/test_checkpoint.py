@@ -1,0 +1,129 @@
+"""Session checkpoint/restore through the SessionManager.
+
+The manager-level contract behind ``GET/PUT /sessions/<id>/state``:
+checkpoints are self-contained JSON payloads (full market spec inlined)
+that restore — in a *different* manager with a *cold* market pool — to
+a session whose remaining trace is bit-identical, verified against the
+checkpoint's content digest.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.service import MarketPool, MarketSpec, SessionManager, SessionSpec
+
+SPEC = MarketSpec(dataset="synthetic", seed=3)
+
+
+def _session(manager, **overrides):
+    defaults = dict(market=SPEC, seed=0)
+    defaults.update(overrides)
+    return manager.open_session(SessionSpec(**defaults))
+
+
+class TestCheckpoint:
+    def test_payload_is_self_contained_json(self):
+        manager = SessionManager(pool=MarketPool())
+        sid = _session(manager)
+        manager.step(sid, rounds=2)
+        payload = manager.checkpoint(sid)
+        # Must survive a JSON wire trip verbatim.
+        assert json.loads(json.dumps(payload)) == payload
+        # The market is inlined as a full spec dict, not a digest.
+        assert payload["spec"]["market"]["dataset"] == "synthetic"
+        assert payload["state"]["round_number"] == 2
+        assert payload["digest"]
+
+    def test_checkpoint_inlines_market_for_digest_sessions(self):
+        pool = MarketPool()
+        manager = SessionManager(pool=pool)
+        pool.get(SPEC)
+        sid = manager.open_session(SessionSpec(market=SPEC.digest(), seed=0))
+        payload = manager.checkpoint(sid)
+        assert payload["spec"]["market"] == SPEC.to_dict()
+
+    def test_adhoc_market_cannot_checkpoint(self):
+        pool = MarketPool()
+        manager = SessionManager(pool=pool)
+        digest = pool.add(pool.get(SPEC))  # hand-injected: no spec recorded
+        sid = manager.open_session(SessionSpec(market=digest, seed=0))
+        with pytest.raises(ValueError, match="hand-injected"):
+            manager.checkpoint(sid)
+
+
+class TestRestore:
+    def test_cold_pool_restore_resumes_identical_game(self):
+        """The cross-process scenario: the target pool rebuilds the
+        market from the inlined spec and the session plays out exactly
+        as it would have in the source process."""
+        source = SessionManager(pool=MarketPool())
+        reference = SessionManager(pool=MarketPool())
+        sid = _session(source, run=4)
+        ref = _session(reference, run=4)
+        source.step(sid, rounds=1)
+        payload = manager_payload = source.checkpoint(sid)
+
+        target = SessionManager(pool=MarketPool())  # cold: must rebuild
+        rid = target.restore(manager_payload)
+        final = target.run(rid)
+        expected = reference.run(ref)
+        assert final["done"] and expected["done"]
+        assert final["outcome"] == expected["outcome"]
+        assert target.checkpoint(rid)["state"]["history"] == \
+            reference.checkpoint(ref)["state"]["history"]
+        assert payload["state"]["history"] == \
+            target.checkpoint(rid)["state"]["history"][:1]
+
+    def test_terminal_state_restores_as_terminal(self):
+        source = SessionManager(pool=MarketPool())
+        sid = _session(source)
+        source.run(sid)
+        payload = source.checkpoint(sid)
+        target = SessionManager(pool=MarketPool())
+        rid = target.restore(payload)
+        status = target.status(rid)
+        assert status["done"]
+        assert status["outcome"] == source.status(sid)["outcome"]
+
+    def test_tampered_state_rejected(self):
+        source = SessionManager(pool=MarketPool())
+        sid = _session(source)
+        source.step(sid, rounds=2)
+        payload = copy.deepcopy(source.checkpoint(sid))
+        payload["state"]["quote"]["base"] += 0.001
+        with pytest.raises(ValueError, match="digest mismatch"):
+            SessionManager(pool=MarketPool()).restore(payload)
+
+    def test_wrong_seed_fails_replay_verification(self):
+        """A checkpoint whose spec drifted from its state must not
+        silently resume a different game."""
+        source = SessionManager(pool=MarketPool())
+        sid = _session(source, task="increase_price", seed=11)
+        source.step(sid, rounds=3)
+        payload = copy.deepcopy(source.checkpoint(sid))
+        payload["spec"]["seed"] = 12  # different RNG streams
+        payload["digest"] = payload["digest"]  # digest still matches state
+        with pytest.raises(ValueError, match="does not replay"):
+            SessionManager(pool=MarketPool()).restore(payload)
+
+    def test_restore_under_explicit_id_and_collision(self):
+        source = SessionManager(pool=MarketPool())
+        sid = _session(source)
+        source.step(sid)
+        payload = source.checkpoint(sid)
+        target = SessionManager(pool=MarketPool())
+        rid = target.restore(payload, session_id="shard3-s000042")
+        assert rid == "shard3-s000042"
+        assert target.status(rid)["round"] == 1
+        with pytest.raises(RuntimeError, match="already resident"):
+            target.restore(payload, session_id="shard3-s000042")
+
+    def test_unsupported_version_rejected(self):
+        source = SessionManager(pool=MarketPool())
+        sid = _session(source)
+        payload = source.checkpoint(sid)
+        payload["version"] = 2
+        with pytest.raises(ValueError, match="checkpoint version"):
+            SessionManager(pool=MarketPool()).restore(payload)

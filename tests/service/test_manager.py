@@ -177,3 +177,25 @@ class TestEviction:
         manager.open_session(SessionSpec(market=SPEC, seed=0))
         with pytest.raises(RuntimeError, match="session limit"):
             manager.open_session(SessionSpec(market=SPEC, seed=0, run=1))
+
+    def test_restored_checkpoint_survives_idle_eviction(self, pool):
+        """Regression: a session restored from a persisted checkpoint
+        must not be reaped before its client first reconnects — however
+        long the restore-to-reconnect gap — while ordinary sessions
+        around it still age out."""
+        now = [0.0]
+        manager = SessionManager(pool=pool, idle_ttl=10.0, clock=lambda: now[0])
+        sid = manager.open_session(SessionSpec(market=SPEC, seed=0))
+        manager.step(sid)
+        payload = manager.checkpoint(sid)
+        manager.close(sid)
+        restored = manager.restore(payload)
+        bystander = manager.open_session(SessionSpec(market=SPEC, seed=0, run=1))
+        now[0] = 1000.0  # both idle far beyond the ttl
+        assert manager.evict_idle() == [bystander]
+        assert restored in manager.session_ids()
+        # First client contact lifts the grace period: from then on the
+        # restored session ages like any other.
+        manager.step(restored)
+        now[0] = 2000.0
+        assert manager.evict_idle() == [restored]

@@ -1,0 +1,123 @@
+"""A registered custom base model reaches oracle construction end to end.
+
+The satellite contract of the registry wiring: ``register_base_model``
+with course builders makes ``MarketSpec.base_model`` resolve through
+``registry.BASE_MODELS`` inside ``Market.from_spec``/``run_vfl`` — no
+hardcoded lookup left — so an extension model trains the pre-bargaining
+oracle exactly like the built-ins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_titanic
+from repro.market.market import Market
+from repro.ml.linear import LogisticRegression
+from repro.service import MarketSpec, registry
+from repro.service.registry import register_base_model
+from repro.vfl.runner import isolated_performance, resolve_model_params, run_vfl
+
+
+def _logit_isolated(dataset, params, rng):
+    model = LogisticRegression(max_iter=params["max_iter"])
+    model.fit(dataset.task_train, dataset.y_train.astype(np.float64))
+    return model.score(dataset.task_test, dataset.y_test)
+
+
+def _logit_joint(dataset, bundle, params, rng, *, channel,
+                 task_design=None, data_design=None):
+    cols = list(bundle)
+    X_train = np.hstack(
+        [dataset.task_train, dataset.X_data[dataset.train_idx][:, cols]]
+    )
+    X_test = np.hstack(
+        [dataset.task_test, dataset.X_data[dataset.test_idx][:, cols]]
+    )
+    model = LogisticRegression(max_iter=params["max_iter"])
+    model.fit(X_train, dataset.y_train.astype(np.float64))
+    return model.score(X_test, dataset.y_test)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def central_logit():
+    register_base_model(
+        "central_logit",
+        defaults={"max_iter": 200},
+        isolated=_logit_isolated,
+        joint=_logit_joint,
+        overwrite=True,
+    )
+    yield
+    registry.BASE_MODELS.unregister("central_logit")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_titanic(400, seed=0).prepare(seed=0)
+
+
+class TestRunnerDispatch:
+    def test_params_resolve_from_registration(self):
+        assert resolve_model_params("central_logit") == {"max_iter": 200}
+        assert resolve_model_params("central_logit", {"max_iter": 50}) == {
+            "max_iter": 50
+        }
+        with pytest.raises(ValueError, match="unknown model params"):
+            resolve_model_params("central_logit", {"depth": 3})
+
+    def test_unknown_base_model_rejected(self, dataset):
+        with pytest.raises(ValueError, match="base_model"):
+            isolated_performance(dataset, base_model="nope")
+
+    def test_run_vfl_through_custom_builders(self, dataset):
+        result = run_vfl(
+            dataset, range(dataset.d_data), base_model="central_logit", seed=0
+        )
+        assert result.base_model == "central_logit"
+        assert 0.0 < result.performance_joint <= 1.0
+        assert np.isfinite(result.delta_g)
+
+    def test_custom_model_is_deterministic(self, dataset):
+        a = run_vfl(dataset, (0, 1), base_model="central_logit", seed=3, m0=0.6)
+        b = run_vfl(dataset, (0, 1), base_model="central_logit", seed=3, m0=0.6)
+        assert a.performance_joint == b.performance_joint
+
+    def test_designs_rejected_without_support(self, dataset):
+        with pytest.raises(ValueError, match="design-capable"):
+            run_vfl(dataset, (0,), base_model="central_logit", seed=0,
+                    m0=0.6, task_design=object())
+
+    def test_builderless_entry_cannot_run_courses(self, dataset):
+        register_base_model("name_only", overwrite=True)
+        try:
+            with pytest.raises(ValueError, match="without course builders"):
+                isolated_performance(dataset, base_model="name_only")
+        finally:
+            registry.BASE_MODELS.unregister("name_only")
+
+
+class TestMarketIntegration:
+    def test_from_spec_builds_oracle_on_custom_model(self):
+        """The whole stack: spec validation accepts the registered name
+        and the oracle's courses train through the custom builders."""
+        spec = MarketSpec(
+            dataset="titanic",
+            base_model="central_logit",
+            seed=0,
+            n_bundles=3,
+            no_cache=True,
+        )
+        market = Market.from_spec(spec)
+        assert market.name == "titanic/central_logit"
+        assert market.oracle.base_model == "central_logit"
+        assert len(market.oracle) >= 2
+        assert market.config.target_gain > 0
+
+    def test_registration_propagates_to_cli_choices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["simulate", "--dataset", "titanic",
+             "--base-model", "central_logit"]
+        )
+        assert args.base_model == "central_logit"
