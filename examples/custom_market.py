@@ -15,9 +15,13 @@ path end to end:
    the 75th-percentile gain instead of the best bundle on sale.
    ``--task thrifty`` (and ``SessionSpec(task="thrifty")``) now work
    everywhere, including the population simulator's ``--mix``.
-3. A ``MarketSpec``/``SessionSpec`` session through
-   :class:`~repro.service.manager.SessionManager`, plus the Eq. 5
-   equilibrium check on the final deal.
+3. A ``MarketSpec``/``SessionSpec`` session through the
+   :class:`~repro.client.MarketplaceClient` SDK — the same typed API
+   ``repro serve`` deployments answer, here on the zero-overhead
+   in-process transport — plus the Eq. 5 equilibrium check on the
+   final deal.  Swapping ``MarketplaceClient.local()`` for
+   ``MarketplaceClient.connect(url)`` would run the identical session
+   against a remote marketplace.
 
 Run:  python examples/custom_market.py
 """
@@ -31,15 +35,16 @@ from repro.data.synthetic.base import (
     numeric_column,
 )
 from repro.data.table import Table
+from repro.client import MarketplaceClient
 from repro.market import (
     MarketConfig,
     MarketPreset,
     StrategicTaskParty,
     is_equilibrium_price,
 )
+from repro.market.pricing import QuotedPrice
 from repro.service import (
     MarketSpec,
-    SessionManager,
     SessionSpec,
     register_dataset,
     register_task_strategy,
@@ -128,31 +133,32 @@ def thrifty_buyer(ctx) -> StrategicTaskParty:
 
 
 def main() -> None:
-    manager = SessionManager()
+    client = MarketplaceClient.local()  # or .connect("http://host:8765")
     market_spec = MarketSpec(dataset="acme_scores", seed=0, no_cache=True)
-    market = manager.market(market_spec)
-    print(f"registered market: {market.name} | {len(market.oracle)} bundles | "
-          f"target dG* = {market.config.target_gain:.4f}")
+    market = client.build_market(market_spec)
+    print(f"registered market: {market['name']} | {market['n_bundles']} "
+          f"bundles | target dG* = {market['target_gain']:.4f}")
 
     for task in ("strategic", "thrifty"):
-        session_id = manager.open_session(
+        opened = client.open_session(
             SessionSpec(market=market_spec, task=task, seed=0)
         )
-        status = manager.run(session_id)
-        outcome = manager.outcome(session_id)
-        print(f"  task={task:<10} {status['outcome']['status']:<9} "
-              f"rounds={outcome.n_rounds:<4}", end="")
-        if outcome.accepted:
-            print(f" dG={outcome.delta_g:.4f} payment={outcome.payment:.3f} "
-                  f"net={outcome.net_profit:.2f}")
+        outcome = client.run_session(opened["session"])["outcome"]
+        print(f"  task={task:<10} {outcome['status']:<9} "
+              f"rounds={outcome['n_rounds']:<4}", end="")
+        if outcome["accepted"]:
+            print(f" dG={outcome['delta_g']:.4f} "
+                  f"payment={outcome['payment']:.3f} "
+                  f"net={outcome['net_profit']:.2f}")
             # Eq. 5: at settlement, the turning point coincides with
             # the realised gain (within the termination tolerance).
+            quote = QuotedPrice.from_dict(outcome["quote"])
             print(f"    equilibrium (Eq. 5) within eps: "
-                  f"{is_equilibrium_price(outcome.quote, outcome.delta_g, tolerance=2e-3)}")
+                  f"{is_equilibrium_price(quote, outcome['delta_g'], tolerance=2e-3)}")
         else:
             print()
-        manager.close(session_id)
-    print(f"service report: {manager.report()['outcomes']}")
+        client.close_session(opened["session"])
+    print(f"service report: {client.report()['outcomes']}")
 
 
 if __name__ == "__main__":

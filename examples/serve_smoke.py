@@ -1,0 +1,85 @@
+"""End-to-end smoke of a live ``repro serve`` deployment via the SDK.
+
+The CI ``service-api`` job boots a server and runs this script against
+it — no hand-rolled ``urllib`` plumbing, just the public
+:class:`~repro.client.MarketplaceClient` the README documents:
+
+1. poll ``/v1/healthz`` until the server is ready (no fixed sleeps);
+2. build a market, bargain a session to acceptance, checkpoint it;
+3. submit a durable sharded simulation job and follow its JSON-lines
+   event stream to the final digest;
+4. assert the operator report counted the accepted deal.
+
+Run:  python examples/serve_smoke.py --url http://127.0.0.1:8765
+"""
+
+import argparse
+import sys
+import time
+
+from repro.client import MarketplaceClient, TransportError
+
+
+def wait_healthy(client: MarketplaceClient, timeout: float = 30.0) -> dict:
+    """Poll ``/v1/healthz`` until the server answers and is not draining."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            health = client.healthz()
+            assert health["ok"] and not health["draining"], health
+            return health
+        except TransportError:
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"server never became healthy in {timeout}s")
+            time.sleep(0.2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="base URL of a running `repro serve`")
+    parser.add_argument("--sessions", type=int, default=80,
+                        help="simulation-job size (default 80)")
+    args = parser.parse_args(argv)
+
+    with MarketplaceClient.connect(args.url) as client:
+        health = wait_healthy(client)
+        print(f"healthy: pid {health['pid']}, "
+              f"{health['sessions']['resident']} resident sessions")
+
+        market = client.build_market({"dataset": "synthetic", "seed": 0})
+        print(f"market: {market['market']} ({market['n_bundles']} bundles, "
+              f"cached={market['cached']})")
+
+        opened = client.open_session({"market": market["market"], "seed": 0})
+        state = client.run_session(opened["session"])
+        outcome = state["outcome"]
+        print(f"outcome: {outcome['status']} after {outcome['n_rounds']} "
+              f"rounds, payment {outcome['payment']:.3f}")
+        assert outcome["status"] == "accepted", outcome
+
+        checkpoint = client.checkpoint(opened["session"])
+        assert checkpoint["digest"], checkpoint
+        print(f"checkpoint digest: {checkpoint['digest']}")
+
+        submitted = client.submit_simulation(
+            {"sessions": args.sessions, "seed": 0}, shards=2, chunks=2
+        )
+        print(f"job submitted: {submitted['job']} "
+              f"({submitted['chunks']} chunks)")
+        final = client.wait_job(
+            submitted["job"], timeout=300,
+            on_event=lambda e: print(f"  event: {e}"),
+        )
+        assert final["status"] == "done", final
+        print(f"job done: digest {final['digest']}")
+
+        report = client.report()
+        print(f"report: {report['outcomes']}")
+        assert report["outcomes"]["accepted"] >= 1, report
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

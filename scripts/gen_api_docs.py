@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate docs/API.md from the live /v1 route table.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_api_docs.py
+
+The drift test (``tests/service/test_api_docs.py``) fails whenever the
+committed file differs from a fresh render, so run this after any
+route-table change.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.service.docs import generate_api_markdown  # noqa: E402
+
+
+def main() -> int:
+    target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    content = generate_api_markdown()
+    changed = not target.exists() or target.read_text() != content
+    target.write_text(content)
+    print(f"{'updated' if changed else 'unchanged'}: {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

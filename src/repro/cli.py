@@ -1,13 +1,15 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Every command is a thin spec-constructor over the service layer
-(:mod:`repro.service`): choices come from the live registries, the
+Every command is a thin spec-constructor over the client SDK
+(:mod:`repro.client`): choices come from the live registries, the
 arguments become a typed :class:`~repro.service.specs.MarketSpec` /
 :class:`~repro.service.specs.SessionSpec` /
-:class:`~repro.service.specs.SimulationSpec`, and execution goes
-through the shared market pool and
-:class:`~repro.service.manager.SessionManager` — the same machinery
-``python -m repro serve`` exposes over HTTP.
+:class:`~repro.service.specs.SimulationSpec`, and execution drives a
+:class:`~repro.client.MarketplaceClient` — in-process by default
+(:class:`~repro.client.LocalTransport` over the shared market pool),
+or against any ``python -m repro serve`` deployment with
+``--server URL`` (:class:`~repro.client.HttpTransport`), with
+identical report digests either way.
 
 Commands
 --------
@@ -44,7 +46,11 @@ Examples
     python -m repro simulate --sessions 10000 --preset titanic
     python -m repro simulate --sessions 2000 --dataset credit --jobs 4
     python -m repro simulate --sessions 1000 --mix "strategic:strategic=0.8,increase_price:strategic=0.2"
+    python -m repro simulate --sessions 5000 --server http://localhost:8765
+    python -m repro bargain --runs 3 --server http://localhost:8765
     python -m repro jobs run --sessions 20000 --shards 4 --store sweeps.sqlite3
+    python -m repro jobs run --sessions 20000 --workers http://a:8765,http://b:8765
+    python -m repro jobs run --sessions 20000 --server http://localhost:8765
     python -m repro jobs resume j0123abcd4567ef89 --store sweeps.sqlite3
     python -m repro serve --port 8765
     python -m repro table 3 --dataset adult
@@ -84,6 +90,23 @@ def _oracle_cache(args: argparse.Namespace):
     return GainCache(args.cache_dir or default_cache_dir())
 
 
+def _add_client_option(parser: argparse.ArgumentParser) -> None:
+    """The local-vs-remote switch every client-driven command shares."""
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="drive a remote `repro serve` deployment at "
+                             "this base URL instead of running in-process "
+                             "(identical report digests either way)")
+
+
+def _client(args: argparse.Namespace):
+    """The MarketplaceClient the command should drive."""
+    from repro.client import MarketplaceClient
+
+    if args.server:
+        return MarketplaceClient.connect(args.server)
+    return MarketplaceClient.local()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for tests and docs).
 
@@ -113,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     bargain.add_argument("--runs", type=int, default=1)
     bargain.add_argument("--seed", type=int, default=0)
     _add_oracle_options(bargain)
+    _add_client_option(bargain)
 
     def _add_population_options(parser: argparse.ArgumentParser) -> None:
         """Simulation-describing flags shared by simulate and jobs run."""
@@ -145,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run a population of concurrent bargaining sessions"
     )
     _add_population_options(simulate)
+    _add_client_option(simulate)
     simulate.add_argument("--json", default=None, metavar="PATH",
                           help="also dump the report as JSON here")
     simulate.add_argument("--expect-digest", default=None, metavar="HEX",
@@ -172,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker-process shards (default 2; 0 = all "
                                  "cores; the merged report is identical for "
                                  "every value)")
+        parser.add_argument("--workers", default=None, metavar="URLS",
+                            help="comma-separated `repro serve` worker URLs: "
+                                 "ship chunks to these hosts over /v1/chunks "
+                                 "instead of local processes (the merged "
+                                 "report is still identical)")
         parser.add_argument("--max-chunks", type=int, default=None,
                             metavar="K",
                             help="stop after K chunks this invocation, "
@@ -179,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--expect-digest", default=None, metavar="HEX",
                             help="fail unless the merged report digest "
                                  "matches (CI guard)")
+        _add_client_option(parser)
 
     jobs_run = jobs_sub.add_parser(
         "run", help="submit a simulation job and execute it shard-parallel"
@@ -203,9 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also print the stored report of a "
                                   "finished job")
     _add_store_option(jobs_status)
+    _add_client_option(jobs_status)
 
     jobs_list = jobs_sub.add_parser("list", help="every recorded job")
     _add_store_option(jobs_list)
+    _add_client_option(jobs_list)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 4))
@@ -221,8 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_bargain(args: argparse.Namespace) -> int:
-    from repro.experiments import market_is_cached, spec_for
-    from repro.service import SessionManager, SessionSpec
+    from repro.experiments import spec_for
+    from repro.market.pricing import QuotedPrice
+    from repro.service import SessionSpec
 
     spec = spec_for(
         args.dataset,
@@ -231,40 +265,41 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=_oracle_cache(args),
     )
-    fresh_build = not market_is_cached(spec)
-    manager = SessionManager()
-    market = manager.market(spec)
-    # Only a build that happened in this call has a report describing it;
-    # a market reused from the process pool would misreport.
-    report = getattr(market.oracle, "build_report", None)
-    if fresh_build and report is not None:
-        print(report.summary())
-    print(f"market: {market.name} | catalogue {len(market.oracle)} bundles | "
-          f"target dG* = {market.config.target_gain:.4f}")
-    outcomes = []
-    for i in range(args.runs):
-        session_id = manager.open_session(SessionSpec(
-            market=spec,
-            task=args.task,
-            data=args.data,
-            information=args.information,
-            seed=args.seed,
-            run=i,
-        ))
-        manager.run(session_id)
-        outcomes.append(manager.outcome(session_id))
-        manager.close(session_id)
-    accepted = [o for o in outcomes if o.accepted]
+    with _client(args) as client:
+        market = client.build_market(spec)
+        # Only a build that happened in this call has a report describing
+        # it; a market reused from the serving pool would misreport — the
+        # wire payload carries the summary exactly when this call built.
+        if market["build_report"]:
+            print(market["build_report"])
+        print(f"market: {market['name']} | catalogue {market['n_bundles']} "
+              f"bundles | target dG* = {market['target_gain']:.4f}")
+        outcomes = []
+        for i in range(args.runs):
+            opened = client.open_session(SessionSpec(
+                market=spec,
+                task=args.task,
+                data=args.data,
+                information=args.information,
+                seed=args.seed,
+                run=i,
+            ))
+            state = client.run_session(opened["session"])
+            outcomes.append(state["outcome"])
+            client.close_session(opened["session"])
+    accepted = [o for o in outcomes if o["accepted"]]
     for i, o in enumerate(outcomes):
-        line = (f"run {i}: {o.status:<10} rounds={o.n_rounds:<4}")
-        if o.accepted:
-            line += (f" dG={o.delta_g:.4f} payment={o.payment:.3f} "
-                     f"net={o.net_profit:.2f} quote={o.quote}")
+        line = (f"run {i}: {o['status']:<10} rounds={o['n_rounds']:<4}")
+        if o["accepted"]:
+            quote = QuotedPrice.from_dict(o["quote"])
+            line += (f" dG={o['delta_g']:.4f} payment={o['payment']:.3f} "
+                     f"net={o['net_profit']:.2f} quote={quote}")
         print(line)
     if accepted:
         print(f"summary: {len(accepted)}/{len(outcomes)} accepted | "
-              f"mean net profit {np.mean([o.net_profit for o in accepted]):.2f} | "
-              f"mean payment {np.mean([o.payment for o in accepted]):.3f}")
+              f"mean net profit "
+              f"{np.mean([o['net_profit'] for o in accepted]):.2f} | "
+              f"mean payment {np.mean([o['payment'] for o in accepted]):.3f}")
     return 0
 
 
@@ -384,13 +419,12 @@ def _simulation_spec(args: argparse.Namespace):
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from dataclasses import asdict
 
-    from repro.service import run_simulation
-
     sim = _simulation_spec(args)
     market_spec = None
-    if args.dataset:
+    if args.dataset and not args.server:
         # A real pre-bargaining oracle: the factory runs (or replays
-        # from cache) one VFL course per catalogued bundle.
+        # from cache) one VFL course per catalogued bundle.  With
+        # --server the remote deployment resolves and builds it.
         from repro.experiments import market_is_cached, spec_for
         from repro.service import shared_pool
 
@@ -406,7 +440,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         build_report = getattr(market.oracle, "build_report", None)
         if fresh_build and build_report is not None:
             print(build_report.summary())
-    population, result, report = run_simulation(sim, market_spec=market_spec)
+    with _client(args) as client:
+        report = client.simulate(sim, market_spec=market_spec)
     print(report.to_text())
     if args.json:
         import json
@@ -452,27 +487,115 @@ def _print_job_report(record) -> None:
               f"accepted")
 
 
-def _finish_job_command(record, expect_digest: str | None) -> int:
-    """Shared run/resume epilogue: report, digest guard, exit code."""
+def _finish_job_command(record, expect_digest: str | None,
+                        resume_suffix: str = "") -> int:
+    """Shared run/resume epilogue: report, digest guard, exit code.
+
+    ``record`` is a :class:`~repro.jobs.store.JobRecord` or the
+    duck-typed :class:`_WireJobView` over a /v1 payload, so the local
+    and ``--server`` paths render identically; ``resume_suffix`` tails
+    the resume hints (e.g. ``" --server URL"``).
+    """
     _print_job(record)
     if record.finished:
         _print_job_report(record)
     if expect_digest:
         if not record.finished:
             print(f"job not finished (status {record.status}); cannot verify "
-                  f"digest — resume it with: repro jobs resume {record.job_id}")
+                  f"digest — resume it with: repro jobs resume "
+                  f"{record.job_id}{resume_suffix}")
             return 1
         if record.digest != expect_digest:
             print(f"digest mismatch: got {record.digest}, "
                   f"expected {expect_digest}")
             return 1
     if not record.finished:
-        print(f"resume with: python -m repro jobs resume {record.job_id}")
+        print(f"resume with: python -m repro jobs resume "
+              f"{record.job_id}{resume_suffix}")
     return 0
 
 
+class _WireJobView:
+    """A /v1 job payload duck-typed as the JobRecord fields the jobs
+    epilogue renders, so local and remote output share one code path."""
+
+    def __init__(self, payload: dict):
+        self.job_id = payload["job"]
+        self.kind = payload["kind"]
+        self.status = payload["status"]
+        self.done_chunks = payload["chunks_done"]
+        self.n_chunks = payload["chunks"]
+        self.digest = payload.get("digest")
+        self.report = payload.get("report")
+
+    @property
+    def finished(self) -> bool:
+        return self.status == "done"
+
+
+def _cmd_jobs_remote(args: argparse.Namespace) -> int:
+    """The jobs subcommands against a remote server's durable store."""
+    from repro.client import ClientError
+
+    def on_event(event: dict) -> None:
+        if event.get("event") == "progress":
+            print(f"  chunks {event['chunks_done']}/{event['chunks']} "
+                  f"({event['status']})")
+
+    try:
+        with _client(args) as client:
+            if args.jobs_command == "list":
+                shown = 0
+                for payload in client.iter_jobs():
+                    _print_job(_WireJobView(payload))
+                    shown += 1
+                if not shown:
+                    print(f"no jobs recorded on {args.server}")
+                return 0
+            if args.jobs_command == "status":
+                record = _WireJobView(client.job(args.job_id))
+                _print_job(record)
+                if args.report and record.finished:
+                    _print_job_report(record)
+                return 0
+            if args.jobs_command == "run":
+                spec = _simulation_spec(args)
+                submitted = client.submit_simulation(
+                    spec, shards=args.shards, chunks=args.chunks
+                )
+                print(f"submitted job {submitted['job']} "
+                      f"({submitted['chunks']} chunks, on {args.server})")
+                job_id = submitted["job"]
+            else:  # resume
+                client.resume_job(args.job_id, shards=args.shards)
+                job_id = args.job_id
+            # Server-side jobs can legitimately run for hours; the wait
+            # mirrors the local executor's behaviour (block until done).
+            final = client.wait_job(job_id, timeout=86400.0,
+                                    on_event=on_event)
+    except TimeoutError:
+        print(f"job {job_id} is still running on {args.server}; check it "
+              f"with: python -m repro jobs status {job_id} "
+              f"--server {args.server}")
+        return 1
+    except ClientError as exc:
+        raise SystemExit(str(exc)) from None
+    return _finish_job_command(_WireJobView(final), args.expect_digest,
+                               resume_suffix=f" --server {args.server}")
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    from repro.jobs import ShardedExecutor
+    from repro.jobs import RemoteShardExecutor, ShardedExecutor
+
+    workers = getattr(args, "workers", None)
+    if args.server and workers:
+        raise SystemExit(
+            "--server and --workers are mutually exclusive: --server runs "
+            "the job on that deployment's own store, --workers fans this "
+            "process's job across remote chunk executors"
+        )
+    if args.server:
+        return _cmd_jobs_remote(args)
 
     store = _job_store(args)
     if args.jobs_command == "list":
@@ -492,14 +615,21 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             _print_job_report(record)
         return 0
 
-    executor = ShardedExecutor(
-        store, shards=args.shards, max_chunks=args.max_chunks
-    )
+    if workers:
+        executor = RemoteShardExecutor(
+            store, workers.split(","), max_chunks=args.max_chunks
+        )
+    else:
+        executor = ShardedExecutor(
+            store, shards=args.shards, max_chunks=args.max_chunks
+        )
     if args.jobs_command == "run":
         spec = _simulation_spec(args)
         record = executor.submit(spec, chunks=args.chunks)
+        where = (f"workers {workers}" if workers
+                 else f"{args.shards or 'all'} shards")
         print(f"submitted job {record.job_id} "
-              f"({record.n_chunks} chunks, {args.shards or 'all'} shards, "
+              f"({record.n_chunks} chunks, {where}, "
               f"store {store.path})")
         job_id = record.job_id
     else:  # resume

@@ -1,0 +1,278 @@
+"""The typed marketplace client: one API, interchangeable transports.
+
+:class:`MarketplaceClient` is the single programmatic surface every
+front door shares — the CLI commands, the examples, the benchmarks and
+the test suites all drive it, and swapping
+:class:`~repro.client.local.LocalTransport` for
+:class:`~repro.client.http.HttpTransport` (``--server URL``) flips any
+of them from embedded to remote with byte-identical payloads.
+
+Wire methods (one per ``/v1`` route) return the reply payloads as
+plain dicts; 2xx-or-raise semantics with the typed errors of
+:mod:`repro.client.errors`.  On top sit a few conveniences that
+compose routes: :meth:`run_session`, :meth:`wait_job`,
+:meth:`iter_jobs`, and the high-level :meth:`simulate` (local: direct
+:func:`~repro.service.simulation.run_simulation`; remote: submit a
+durable job, follow its event stream, rebuild the report — same
+digest either way).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.client.errors import ServerError, TransportError, error_from_reply
+from repro.client.http import HttpTransport
+from repro.client.local import LocalTransport
+from repro.client.transport import Transport
+
+__all__ = ["MarketplaceClient"]
+
+#: Job statuses after which polling/streaming stops.
+_TERMINAL = ("done", "failed", "interrupted")
+
+
+def _as_dict(spec) -> dict:
+    return spec if isinstance(spec, dict) else spec.to_dict()
+
+
+class MarketplaceClient:
+    """Typed facade over the ``/v1`` marketplace protocol."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(cls, manager=None, jobs=None) -> "MarketplaceClient":
+        """An in-process client (no server, no sockets)."""
+        return cls(LocalTransport(manager=manager, jobs=jobs))
+
+    @classmethod
+    def connect(cls, url: str, **kwargs) -> "MarketplaceClient":
+        """A remote client for a ``repro serve`` base URL."""
+        return cls(HttpTransport(url, **kwargs))
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "MarketplaceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, *, body: dict | None = None,
+              query: dict | None = None, expect: tuple = (200,)) -> dict:
+        status, payload = self.transport.request(
+            method, path, body=body, query=query
+        )
+        if status not in expect:
+            raise error_from_reply(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Probes and reports
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health`` — liveness."""
+        return self._call("GET", "/v1/health")
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz`` — liveness + session/job/drain status."""
+        return self._call("GET", "/v1/healthz")
+
+    def report(self) -> dict:
+        """``GET /v1/report`` — the operator report."""
+        return self._call("GET", "/v1/report")
+
+    # ------------------------------------------------------------------
+    # Markets and sessions
+    # ------------------------------------------------------------------
+    def build_market(self, spec) -> dict:
+        """``POST /v1/markets`` — build (or warm) a market.
+
+        ``spec`` is a :class:`~repro.service.specs.MarketSpec` or its
+        dict form; the reply's ``market`` digest can seed
+        :meth:`open_session`.
+        """
+        return self._call("POST", "/v1/markets", body=_as_dict(spec))
+
+    def open_session(self, spec) -> dict:
+        """``POST /v1/sessions`` — open a bargaining session."""
+        return self._call("POST", "/v1/sessions", body=_as_dict(spec),
+                          expect=(201,))
+
+    def session(self, session_id: str) -> dict:
+        """``GET /v1/sessions/{id}`` — current status."""
+        return self._call("GET", f"/v1/sessions/{session_id}")
+
+    def step(self, session_id: str, *, rounds: int = 1) -> dict:
+        """``POST /v1/sessions/{id}/step`` — advance up to ``rounds``."""
+        return self._call("POST", f"/v1/sessions/{session_id}/step",
+                          body={"rounds": rounds})
+
+    def run_session(self, session_id: str) -> dict:
+        """Step a session to termination (one round trip)."""
+        return self._call("POST", f"/v1/sessions/{session_id}/step",
+                          body={"until_done": True})
+
+    def checkpoint(self, session_id: str) -> dict:
+        """``GET /v1/sessions/{id}/state`` — a shippable snapshot."""
+        return self._call("GET", f"/v1/sessions/{session_id}/state")
+
+    def restore(self, checkpoint: dict, *, session_id: str | None = None) -> dict:
+        """``PUT /v1/sessions/{id}/state`` — restore a checkpoint.
+
+        ``session_id`` defaults to the checkpoint's own session id.
+        """
+        sid = session_id or checkpoint.get("session")
+        if not sid:
+            raise ValueError("no session id: pass session_id= or a "
+                             "checkpoint with a 'session' field")
+        return self._call("PUT", f"/v1/sessions/{sid}/state",
+                          body=checkpoint, expect=(201,))
+
+    def close_session(self, session_id: str) -> dict:
+        """``DELETE /v1/sessions/{id}`` — close (404 if not resident)."""
+        return self._call("DELETE", f"/v1/sessions/{session_id}")
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def submit_simulation(self, spec, *, shards: int | None = None,
+                          chunks: int | None = None) -> dict:
+        """``POST /v1/simulations`` — submit a durable sharded job."""
+        body = _as_dict(spec)
+        if shards is not None:
+            body = {**body, "shards": shards}
+        if chunks is not None:
+            body = {**body, "chunks": chunks}
+        return self._call("POST", "/v1/simulations", body=body,
+                          expect=(202,))
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}`` — progress (+ report when done)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, *, limit: int = 100, after: str | None = None) -> dict:
+        """``GET /v1/jobs`` — one page: ``{jobs, count, next}``."""
+        query: dict = {"limit": limit}
+        if after is not None:
+            query["after"] = after
+        return self._call("GET", "/v1/jobs", query=query)
+
+    def iter_jobs(self, *, page_size: int = 100) -> Iterator[dict]:
+        """Every recorded job, walking the pagination cursor."""
+        after: str | None = None
+        while True:
+            page = self.jobs(limit=page_size, after=after)
+            yield from page["jobs"]
+            after = page["next"]
+            if after is None:
+                return
+
+    def resume_job(self, job_id: str, *, shards: int | None = None) -> dict:
+        """``POST /v1/jobs/{id}/resume`` — restart pending chunks."""
+        body = {"shards": shards} if shards is not None else {}
+        return self._call("POST", f"/v1/jobs/{job_id}/resume", body=body,
+                          expect=(202,))
+
+    def job_events(self, job_id: str, *, poll: float = 0.1,
+                   timeout: float = 600.0) -> Iterator[dict]:
+        """``GET /v1/jobs/{id}/events`` — streamed progress lines."""
+        return self.transport.stream(
+            "GET", f"/v1/jobs/{job_id}/events",
+            query={"poll": poll, "timeout": timeout},
+        )
+
+    def wait_job(self, job_id: str, *, timeout: float = 600.0,
+                 poll: float = 0.1, on_event=None) -> dict:
+        """Follow a job to a terminal status; returns its final payload.
+
+        Prefers the event stream (one long-lived request); falls back
+        to polling ``GET /v1/jobs/{id}`` if the stream breaks.
+        ``on_event`` (optional callable) observes each streamed line —
+        the hook the CLI uses to print live progress.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        try:
+            for event in self.job_events(job_id, poll=poll, timeout=timeout):
+                if on_event is not None:
+                    on_event(event)
+                if event.get("event") == "end":
+                    return self.job(job_id)
+                if event.get("event") == "timeout":
+                    break
+        except TransportError:
+            pass  # stream broke; fall through to polling
+        while _time.monotonic() < deadline:
+            payload = self.job(job_id)
+            if payload["status"] in _TERMINAL:
+                return payload
+            _time.sleep(poll)
+        raise TimeoutError(
+            f"job {job_id} did not reach a terminal status in {timeout}s"
+        )
+
+    def run_chunk(self, kind: str, spec: dict, start: int, stop: int) -> dict:
+        """``POST /v1/chunks`` — execute one job chunk (worker protocol)."""
+        return self._call(
+            "POST", "/v1/chunks",
+            body={"kind": kind, "spec": spec,
+                  "start": int(start), "stop": int(stop)},
+        )
+
+    # ------------------------------------------------------------------
+    # High level
+    # ------------------------------------------------------------------
+    def simulate(self, spec, *, market_spec=None, shards: int | None = None,
+                 chunks: int | None = None, timeout: float = 3600.0,
+                 on_event=None):
+        """Run a population simulation; returns the
+        :class:`~repro.simulate.report.SimulationReport`.
+
+        Local transport: the in-process
+        :func:`~repro.service.simulation.run_simulation` fast path over
+        the transport's own market pool (``market_spec`` may override
+        the oracle-backing market exactly as the CLI does).  Remote:
+        submit the spec as a durable job, follow its event stream, and
+        rebuild the report from the wire payload.  Both paths produce
+        the same report digest — the contract
+        ``tests/client/test_cli_server_parity.py`` pins.
+        """
+        if isinstance(self.transport, LocalTransport):
+            from repro.service.simulation import run_simulation
+            from repro.service.specs import SimulationSpec
+
+            if isinstance(spec, dict):
+                spec = SimulationSpec.from_dict(spec)
+            _, _, local_report = run_simulation(
+                spec,
+                pool=self.transport.ctx.manager.pool,
+                market_spec=market_spec,
+            )
+            return local_report
+        if market_spec is not None:
+            raise ValueError(
+                "market_spec only applies to local transports; a remote "
+                "server resolves the oracle-backing market from the "
+                "SimulationSpec itself"
+            )
+        from repro.simulate.report import report_from_dict
+
+        submitted = self.submit_simulation(spec, shards=shards, chunks=chunks)
+        final = self.wait_job(submitted["job"], timeout=timeout,
+                              on_event=on_event)
+        if final["status"] != "done":
+            raise ServerError(
+                f"simulation job {final['job']} ended "
+                f"{final['status']}: {final.get('error')}",
+                status=500, code="job_failed", detail=final,
+            )
+        return report_from_dict(final["report"])

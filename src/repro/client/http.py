@@ -1,0 +1,241 @@
+"""HTTP transport: stdlib ``http.client`` with reuse, retries, backoff.
+
+Design points:
+
+* **Connection reuse** — one persistent keep-alive connection per
+  thread (``http.client`` connections are not thread-safe; a
+  ``threading.local`` gives every caller thread its own), torn down
+  and re-dialled on failure.
+* **Retries with backoff** — connection-refused and DNS failures are
+  retried for every method (the server never saw the request); errors
+  after the request was sent are retried for ``GET`` only, because
+  blindly replaying a ``POST /v1/sessions/<id>/step`` would advance
+  the game twice.  Exhausting the budget raises
+  :class:`~repro.client.errors.TransportError` with the attempt count.
+* **Streaming** — ``stream()`` opens a dedicated connection (the
+  reply has no fixed length; it must not poison the pooled one) and
+  yields one parsed JSON object per line.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Iterator
+from urllib.parse import urlencode, urlsplit
+
+from repro.client.errors import TransportError, error_from_reply
+from repro.client.transport import Transport
+
+__all__ = ["HttpTransport"]
+
+#: Failures that prove the server never received the request — always
+#: safe to retry, whatever the method.
+_PRE_SEND_ERRORS = (ConnectionRefusedError, socket.gaierror)
+
+
+class HttpTransport(Transport):
+    """``/v1`` over HTTP(S) against a ``repro serve`` base URL.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (a path prefix is honoured, e.g. behind a
+        reverse proxy: ``http://gateway/market``).
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Additional attempts after the first failure (so ``retries=2``
+        means up to 3 connection attempts).
+    backoff:
+        Base sleep between attempts; doubles each retry.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0,
+                 retries: int = 2, backoff: float = 0.1):
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} in "
+                             f"{base_url!r} (http/https only)")
+        if not parts.hostname:
+            raise ValueError(f"no host in base url {base_url!r}")
+        self.scheme = parts.scheme
+        self.host = parts.hostname
+        self.port = parts.port or (443 if parts.scheme == "https" else 80)
+        self.prefix = parts.path.rstrip("/")
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._local = threading.local()
+        # Every live connection, whichever thread dialled it: close()
+        # may run on a different thread than the requests did (the
+        # RemoteShardExecutor pattern), and must still release sockets.
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+
+    @property
+    def base_url(self) -> str:
+        return f"{self.scheme}://{self.host}:{self.port}{self.prefix}"
+
+    # ------------------------------------------------------------------
+    # Connection pool (one keep-alive connection per thread)
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        cls = (http.client.HTTPSConnection if self.scheme == "https"
+               else http.client.HTTPConnection)
+        conn = cls(self.host, self.port, timeout=self.timeout)
+        conn.connect()
+        # Nagle + delayed ACK costs ~40ms per small request/response
+        # pair; RPC-shaped traffic needs segments on the wire now.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._conn_lock:
+            self._conns.add(conn)
+        return conn
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._local.conn = conn
+        return conn
+
+    def _release(self, conn) -> None:
+        conn.close()
+        with self._conn_lock:
+            self._conns.discard(conn)
+
+    def _drop(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._release(conn)
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Release every connection this transport dialled, on any thread."""
+        self._drop()
+        with self._conn_lock:
+            conns, self._conns = list(self._conns), set()
+        for conn in conns:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def _target(self, path: str, query: dict | None) -> str:
+        target = self.prefix + path
+        if query:
+            target += "?" + urlencode(
+                {k: str(v) for k, v in query.items()}
+            )
+        return target
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> tuple[int, dict]:
+        blob = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        target = self._target(path, query)
+        attempts = self.retries + 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            sent = False
+            try:
+                conn = self._connection()
+                conn.request(
+                    method, target, body=blob,
+                    headers={"Content-Type": "application/json"},
+                )
+                sent = True
+                response = conn.getresponse()
+                raw = response.read()
+            except Exception as exc:
+                self._drop()
+                last = exc
+                replayable = (
+                    isinstance(exc, _PRE_SEND_ERRORS)
+                    or not sent
+                    or method == "GET"
+                )
+                if replayable and attempt + 1 < attempts:
+                    continue
+                raise TransportError(
+                    f"{method} {self.base_url}{path} failed after "
+                    f"{attempt + 1} attempt(s): {exc}",
+                    attempts=attempt + 1,
+                ) from exc
+            if response.will_close:
+                self._drop()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TransportError(
+                    f"{method} {self.base_url}{path} returned status "
+                    f"{response.status} with a non-JSON body",
+                    attempts=attempt + 1,
+                ) from exc
+            if not isinstance(payload, dict):
+                payload = {"value": payload}
+            return response.status, payload
+        raise TransportError(  # pragma: no cover - loop always returns/raises
+            f"{method} {self.base_url}{path} failed: {last}",
+            attempts=attempts,
+        )
+
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> Iterator[dict]:
+        blob = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        conn = None  # dedicated connection: the pooled one stays clean
+        try:
+            conn = self._connect()
+            conn.request(
+                method, self._target(path, query), body=blob,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+        except Exception as exc:
+            if conn is not None:
+                self._release(conn)
+            raise TransportError(
+                f"{method} {self.base_url}{path} (stream) failed: {exc}"
+            ) from exc
+        if response.status != 200:
+            try:
+                raw = response.read()
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {}
+            finally:
+                self._release(conn)
+            raise error_from_reply(response.status, payload)
+
+        def lines() -> Iterator[dict]:
+            try:
+                for raw_line in response:  # chunked decoding is built in
+                    line = raw_line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+            except (http.client.HTTPException, OSError) as exc:
+                raise TransportError(
+                    f"stream from {self.base_url}{path} broke mid-read: "
+                    f"{exc}"
+                ) from exc
+            finally:
+                self._release(conn)
+
+        return lines()

@@ -1,0 +1,90 @@
+"""In-process transport: the ``/v1`` protocol with zero HTTP overhead.
+
+Wraps a live :class:`~repro.service.manager.SessionManager` and
+:class:`~repro.service.api.JobService` and dispatches through the same
+route table as the HTTP server.  Every payload is passed through a
+JSON round-trip before being returned, so embedded callers see
+*exactly* what an HTTP client would — tuples become lists, NaN becomes
+the same float the wire carries — and the transport-parity suite can
+assert equality instead of "close enough".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.client.errors import error_from_reply
+from repro.client.transport import Transport
+from repro.service.api import JobService, ServiceContext, dispatch
+from repro.service.manager import SessionManager
+
+__all__ = ["LocalTransport"]
+
+
+def _wire(payload: object) -> dict:
+    """A payload as the wire would deliver it (one JSON round-trip)."""
+    return json.loads(json.dumps(payload))
+
+
+class LocalTransport(Transport):
+    """Dispatch ``/v1`` requests against in-process service objects.
+
+    Parameters
+    ----------
+    manager:
+        The session broker to serve from (default: a fresh
+        :class:`SessionManager` over the process-wide shared market
+        pool — the same default the HTTP server uses).
+    jobs:
+        The :class:`JobService` for simulation-job routes (default: a
+        lazily-stored service over the default durable job store, so a
+        client that never submits a job never touches SQLite).
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        jobs: JobService | None = None,
+    ):
+        self.ctx = ServiceContext(
+            manager=manager if manager is not None else SessionManager(),
+            jobs=jobs if jobs is not None else JobService(),
+        )
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> tuple[int, dict]:
+        reply = dispatch(self.ctx, method, path, body=body,
+                         query=_stringify(query))
+        if reply.streaming:
+            # A streaming route fetched non-streamingly: drain it.
+            return reply.status, _wire({"lines": list(reply.payload)})
+        return reply.status, _wire(reply.payload)
+
+    def stream(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict | None = None,
+        query: dict | None = None,
+    ) -> Iterator[dict]:
+        reply = dispatch(self.ctx, method, path, body=body,
+                         query=_stringify(query))
+        if not reply.streaming:
+            raise error_from_reply(reply.status, _wire(reply.payload))
+        return (_wire(item) for item in reply.payload)
+
+
+def _stringify(query: dict | None) -> dict | None:
+    """Query parameters exactly as an HTTP server would see them."""
+    if query is None:
+        return None
+    return {key: str(value) for key, value in query.items()}

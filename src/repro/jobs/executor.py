@@ -36,6 +36,7 @@ from repro.utils.canonical import content_digest
 from repro.utils.validation import require
 
 __all__ = [
+    "CHUNK_RUNNERS",
     "ShardedExecutor",
     "chunk_layout",
     "merge_batch_chunks",
@@ -254,10 +255,15 @@ def merge_batch_chunks(spec: BatchSpec, results: dict[int, dict]) -> dict:
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
-_CHUNK_RUNNERS = {
+#: Job kind -> worker-side chunk runner.  Shared by the process-pool
+#: executor, the remote executor's worker servers (``POST /v1/chunks``
+#: resolves the kind here), and job-kind validation.
+CHUNK_RUNNERS = {
     "simulation": run_simulation_chunk,
     "batch": run_batch_chunk,
 }
+
+_CHUNK_RUNNERS = CHUNK_RUNNERS  # backward-compatible alias
 
 
 class ShardedExecutor:

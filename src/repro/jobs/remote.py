@@ -1,0 +1,191 @@
+"""Multi-host job execution: chunks shipped to worker servers over /v1.
+
+:class:`RemoteShardExecutor` is the cross-host twin of
+:class:`~repro.jobs.executor.ShardedExecutor`: the same durable
+:class:`~repro.jobs.store.JobStore`, the same content-addressed chunk
+layout, the same deterministic merge — but instead of a local
+``ProcessPoolExecutor``, each pending chunk is POSTed to a worker's
+``/v1/chunks`` route and the reply recorded as if a local shard had
+produced it.  A worker is nothing special: any ``python -m repro
+serve`` process answers the protocol, rebuilding the job's world from
+its canonical spec exactly as a pool worker would.
+
+Fault model (the kill/resume drill CI runs):
+
+* a worker that dies mid-chunk (``kill -9``, network partition)
+  surfaces as a :class:`~repro.client.errors.TransportError`; the
+  executor marks that worker lost, re-queues the chunk, and carries on
+  with the survivors;
+* when no workers are left the run stops ``interrupted`` — finished
+  chunks are already durable, so a later :meth:`run` (same or
+  different worker fleet) executes only the pending ones;
+* either way, the merged report is **bit-identical** to the
+  single-process :class:`~repro.simulate.pool.SessionPool` path,
+  because chunk payloads are pure functions of ``(spec, start, stop)``
+  and JSON round-trips floats exactly.
+
+A worker *crash* is retried; a worker *error reply* (the chunk itself
+raised — a bad spec raises everywhere) is not, and fails the job just
+as a local shard exception would.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.jobs.executor import ShardedExecutor
+from repro.jobs.store import JobStore
+from repro.utils.validation import require
+
+__all__ = ["RemoteShardExecutor"]
+
+
+class RemoteShardExecutor(ShardedExecutor):
+    """Runs a stored job's pending chunks across remote worker servers.
+
+    Parameters
+    ----------
+    store:
+        The durable :class:`JobStore` — **local to the coordinator**;
+        workers are stateless chunk evaluators.
+    workers:
+        Base URLs of ``repro serve`` processes (``["http://a:8765",
+        "http://b:8765"]``).  Each worker executes one chunk at a time;
+        parallelism is ``len(workers)``.
+    stop_event / max_chunks:
+        As on :class:`ShardedExecutor` — graceful drain and the
+        deterministic mid-run stop used by tests and CI drills.
+    client_options:
+        Extra keyword arguments for each worker's
+        :class:`~repro.client.http.HttpTransport` (``timeout``,
+        ``retries``, ``backoff``).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        workers: list[str],
+        *,
+        stop_event=None,
+        max_chunks: int | None = None,
+        client_options: dict | None = None,
+    ):
+        workers = [str(w).rstrip("/") for w in workers]
+        require(len(workers) >= 1, "need at least one worker URL")
+        require(len(set(workers)) == len(workers),
+                f"duplicate worker URLs in {workers}")
+        super().__init__(store, shards=len(workers), stop_event=stop_event,
+                         max_chunks=max_chunks)
+        self.workers = workers
+        self.client_options = dict(client_options or {})
+
+    # ------------------------------------------------------------------
+    #: Default socket timeout for chunk POSTs.  A chunk is a synchronous
+    #: remote computation, not an RPC — the transport's 60s default
+    #: would misread any long chunk as a dead worker and strand the job
+    #: in a drop/re-queue/interrupt loop.
+    CHUNK_TIMEOUT = 3600.0
+
+    def _clients(self) -> dict:
+        from repro.client import MarketplaceClient
+
+        options = {"timeout": self.CHUNK_TIMEOUT, **self.client_options}
+        return {
+            url: MarketplaceClient.connect(url, **options)
+            for url in self.workers
+        }
+
+    def _run_pending(self, job_id, record, runner, pending) -> bool:
+        """Ship pending chunks to workers; True if stopped before all ran.
+
+        ``runner`` (the local chunk function) is unused — workers
+        resolve ``record.kind`` against the same
+        :data:`~repro.jobs.executor.CHUNK_RUNNERS` table server-side.
+        """
+        from repro.client.errors import TransportError
+
+        budget = len(pending) if self.max_chunks is None else self.max_chunks
+        clients = self._clients()
+        idle = list(self.workers)
+        queue = list(pending)
+        dispatched = 0
+        try:
+            with ThreadPoolExecutor(max_workers=len(self.workers)) as pool:
+                futures: dict = {}
+                while queue or futures:
+                    while (
+                        queue
+                        and idle
+                        and dispatched < budget
+                        and not self._stopped()
+                    ):
+                        url = idle.pop(0)
+                        chunk = queue.pop(0)
+                        index, start, stop = chunk
+                        future = pool.submit(
+                            clients[url].run_chunk,
+                            record.kind, record.spec, start, stop,
+                        )
+                        futures[future] = (url, chunk)
+                        dispatched += 1
+                    if not futures:
+                        break
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        url, chunk = futures.pop(future)
+                        try:
+                            payload = future.result()
+                        except TransportError:
+                            # The worker died mid-chunk.  Its work is
+                            # lost but nothing is corrupted: re-queue
+                            # the chunk for the survivors and drop the
+                            # worker for the rest of this run.
+                            clients[url].close()
+                            queue.insert(0, chunk)
+                            dispatched -= 1
+                            continue
+                        # Anything else (an error *reply*) propagates:
+                        # run() marks the job failed, as a local shard
+                        # exception would.
+                        self.store.record_chunk(
+                            job_id, chunk[0], payload,
+                            elapsed=float(payload.get("elapsed", 0.0)),
+                        )
+                        idle.append(url)
+                    if (self._stopped() or dispatched >= budget) and queue:
+                        # Stop dispatching; drain what's in flight.
+                        queue.clear()
+                    if queue and not idle and not futures:
+                        # Every worker is lost with chunks still
+                        # pending: leave the job interrupted/resumable.
+                        queue.clear()
+        finally:
+            for client in clients.values():
+                client.close()
+        return self.store.pending_chunks(job_id) != []
+
+    # ------------------------------------------------------------------
+    def probe(self, timeout: float = 30.0, poll: float = 0.2) -> dict:
+        """Wait until every worker answers ``/v1/health``; raises on
+        timeout.  Returns ``url -> healthz payload``."""
+        from repro.client import MarketplaceClient, TransportError
+
+        deadline = time.monotonic() + timeout
+        status: dict = {}
+        remaining = list(self.workers)
+        while remaining:
+            url = remaining[0]
+            with MarketplaceClient.connect(url, retries=0) as client:
+                try:
+                    status[url] = client.healthz()
+                    remaining.pop(0)
+                    continue
+                except TransportError as exc:
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"worker {url} not healthy after {timeout}s: "
+                            f"{exc}"
+                        ) from exc
+            time.sleep(poll)
+        return status

@@ -228,6 +228,32 @@ class JobStore:
             ).fetchall()
         return [self._record(row) for row in rows]
 
+    def list_jobs(
+        self, *, limit: int | None = None, after: str | None = None
+    ) -> list[JobRecord]:
+        """One page of jobs in deterministic ascending job-id order.
+
+        ``after`` is an exclusive cursor (the last job id of the
+        previous page), so listing stays O(page) however large the
+        store grows: the query walks the primary-key index, never the
+        whole table.  Job ids are content-addressed, which makes the
+        order stable across processes and restarts.
+        """
+        require(limit is None or limit >= 1, "limit must be >= 1")
+        clauses, args = [], []
+        if after is not None:
+            clauses.append("WHERE j.job_id > ?")
+            args.append(str(after))
+        clauses.append("ORDER BY j.job_id ASC")
+        if limit is not None:
+            clauses.append("LIMIT ?")
+            args.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(
+                " ".join([self._RECORD_QUERY, *clauses]), args
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
     def pending_chunks(self, job_id: str) -> list[tuple[int, int, int]]:
         """``(chunk_index, start, stop)`` of every not-yet-done chunk."""
         record = self.get(job_id)

@@ -34,7 +34,14 @@ Typical embedded use::
 """
 
 from repro.service import registry
-from repro.service.manager import MarketPool, SessionManager, shared_pool
+from repro.service.api import JobService
+from repro.service.manager import (
+    MarketPool,
+    SessionConflictError,
+    SessionLimitError,
+    SessionManager,
+    shared_pool,
+)
 from repro.service.registry import (
     Registry,
     StrategyContext,
@@ -50,9 +57,12 @@ from repro.service.specs import BatchSpec, MarketSpec, SessionSpec, SimulationSp
 
 __all__ = [
     "BatchSpec",
+    "JobService",
     "MarketPool",
     "MarketSpec",
     "Registry",
+    "SessionConflictError",
+    "SessionLimitError",
     "SessionManager",
     "SessionSpec",
     "SimulationSpec",

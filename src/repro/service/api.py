@@ -1,0 +1,666 @@
+"""The versioned ``/v1`` wire protocol, independent of any transport.
+
+Every front door of the marketplace — the stdlib HTTP server
+(:mod:`repro.service.server`), the in-process
+:class:`~repro.client.local.LocalTransport`, and the generated wire
+reference (``docs/API.md``) — dispatches through the one route table
+defined here.  A route is data: method, path template, handler, success
+status, and the request/response documentation that
+:mod:`repro.service.docs` renders, so the served protocol and its
+documentation cannot drift apart.
+
+Protocol invariants (the contract the client SDK builds on):
+
+* every response body is JSON; errors are a single typed envelope
+  ``{"error": {"code": <slug>, "message": <human>, "detail": <extra>}}``
+  with correct status semantics — 400 for malformed bodies/specs, 404
+  for unknown session/job ids (on *every* method), 405 for a known
+  path with the wrong method, 409 for state conflicts, 429 for
+  capacity, 5xx for handler bugs;
+* streaming routes (``GET /v1/jobs/{job_id}/events``) yield JSON-lines
+  (one object per line) instead of a single document;
+* legacy unversioned paths are deprecated, not silently aliased:
+  :func:`legacy_location` maps them to their ``/v1`` home so transports
+  can answer 301 (GET) / 410 (anything else) with a pointer.
+
+:class:`JobService` also lives here: background execution of durable
+simulation jobs is part of the service core, not of the HTTP glue.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.service.manager import (
+    SessionConflictError,
+    SessionLimitError,
+    SessionManager,
+)
+from repro.service.specs import MarketSpec, SessionSpec, SimulationSpec
+from repro.utils.canonical import json_safe
+
+__all__ = [
+    "ApiError",
+    "ApiReply",
+    "ERROR_CODES",
+    "JobService",
+    "ROUTES",
+    "Route",
+    "ServiceContext",
+    "dispatch",
+    "legacy_location",
+]
+
+API_VERSION = "v1"
+
+#: Terminal job statuses: the event stream ends when one is reached.
+_TERMINAL = ("done", "failed", "interrupted")
+
+#: Every error code the protocol can put in an envelope, with the HTTP
+#: status it rides on — rendered into docs/API.md verbatim.
+ERROR_CODES = {
+    "invalid_request": (400, "malformed JSON body, unknown spec field, or a "
+                             "value that fails spec validation"),
+    "not_found": (404, "unknown session id, job id, or route (uniform "
+                       "across GET/POST/PUT/DELETE)"),
+    "method_not_allowed": (405, "the path exists but not for this method"),
+    "conflict": (409, "state conflict, e.g. restoring a checkpoint under a "
+                      "session id that is already resident"),
+    "gone": (410, "a legacy unversioned route was called with a "
+                  "non-GET method; the detail names the /v1 home"),
+    "length_required": (411, "the request carries a body without a valid "
+                             "Content-Length (chunked uploads are not "
+                             "accepted)"),
+    "payload_too_large": (413, "the declared Content-Length exceeds the "
+                               "server's body cap"),
+    "capacity": (429, "the resident-session limit is reached; close or "
+                      "evict sessions first"),
+    "internal": (500, "unexpected server-side failure (a bug; the message "
+                      "carries the exception)"),
+    "moved": (301, "a legacy unversioned route was fetched with GET; the "
+                   "detail and Location header name the /v1 home"),
+}
+
+
+class ApiError(Exception):
+    """A protocol-level error that serialises to the typed envelope."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 detail: object = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def envelope(self) -> dict:
+        return error_envelope(self.code, self.message, self.detail)
+
+
+def error_envelope(code: str, message: str, detail: object = None) -> dict:
+    """The single error shape every non-2xx response carries."""
+    return {"error": {"code": code, "message": message, "detail": detail}}
+
+
+@dataclass(frozen=True)
+class ApiReply:
+    """One dispatched response: payload (or line iterator), status, headers."""
+
+    payload: object
+    status: int = 200
+    headers: dict = field(default_factory=dict)
+    streaming: bool = False
+
+
+@dataclass
+class ServiceContext:
+    """Everything a route handler may touch: the broker and the jobs."""
+
+    manager: SessionManager
+    jobs: "JobService"
+
+
+# ----------------------------------------------------------------------
+# Background job execution (durable store + sharded executor)
+# ----------------------------------------------------------------------
+class JobService:
+    """Background execution of simulation jobs behind the service API.
+
+    Jobs are durable (the :class:`~repro.jobs.store.JobStore`) and run
+    on daemon threads over the sharded executor; submitting the same
+    spec twice attaches to the standing job instead of duplicating it.
+    ``drain()`` is the graceful-shutdown hook: no further chunks are
+    dispatched, in-flight chunks flush to the store, and interrupted
+    jobs resume later via ``repro jobs resume`` (or ``POST
+    /v1/jobs/{job_id}/resume``).
+    """
+
+    def __init__(self, store=None, *, shards: int = 2):
+        self._store = store
+        self.shards = shards
+        self.stop_event = threading.Event()
+        self._threads: dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        # Lazy-init guard for `store` only — deliberately NOT self._lock,
+        # so the property stays safe to call from code holding the
+        # service lock (every handler touches self._lock).
+        self._store_lock = threading.Lock()
+
+    @property
+    def store(self):
+        with self._store_lock:
+            if self._store is None:
+                from repro.jobs import JobStore, default_store_path
+
+                self._store = JobStore(default_store_path())
+            return self._store
+
+    # ------------------------------------------------------------------
+    def _executor(self, shards: int | None = None):
+        from repro.jobs import ShardedExecutor
+
+        if shards is None:
+            shards = self.shards
+        return ShardedExecutor(
+            self.store, shards=int(shards), stop_event=self.stop_event
+        )
+
+    def submit(self, payload: dict) -> dict:
+        """Record the job and (re)start its background execution."""
+        body = dict(payload)
+        chunks = body.pop("chunks", None)
+        # Explicit None check: shards=0 is a valid request ("all cores")
+        # and must not fall back to the server default.
+        shards = body.pop("shards", None)
+        spec = SimulationSpec.from_dict(body)
+        executor = self._executor(shards)
+        record = executor.submit(spec, chunks=chunks)
+        started = self._start(record.job_id, executor)
+        reply = self.status(record.job_id)
+        reply["started"] = started
+        return reply
+
+    def resume(self, job_id: str, *, shards: int | None = None) -> dict:
+        """Restart a recorded job's pending chunks (no-op when done)."""
+        self.store.get(job_id)  # KeyError -> 404
+        started = self._start(job_id, self._executor(shards))
+        reply = self.status(job_id)
+        reply["started"] = started
+        return reply
+
+    def _start(self, job_id: str, executor) -> bool:
+        def work() -> None:
+            try:
+                executor.run(job_id)
+            except Exception:  # recorded as `failed` in the store
+                pass
+
+        # Check-and-register under one lock acquisition: two concurrent
+        # submits of the same (content-addressed) job must start exactly
+        # one worker thread, not race past each other's liveness check.
+        store = self.store
+        with self._lock:
+            thread = self._threads.get(job_id)
+            if thread is not None and thread.is_alive():
+                return False
+            if store.get(job_id).finished or self.stop_event.is_set():
+                return False
+            thread = threading.Thread(
+                target=work, name=f"job-{job_id}", daemon=True
+            )
+            self._threads[job_id] = thread
+        thread.start()
+        return True
+
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> dict:
+        """One job's progress (plus its report once finished)."""
+        record = self.store.get(job_id)  # KeyError -> 404
+        payload = record.progress()
+        if record.report is not None:
+            payload["report"] = json_safe(record.report)
+        return payload
+
+    def jobs(self) -> list[dict]:
+        return [record.progress() for record in self.store.jobs()]
+
+    def page(self, *, limit: int = 100, after: str | None = None) -> dict:
+        """One page of job listings, ordered by job id (deterministic).
+
+        The cursor protocol behind ``GET /v1/jobs?limit=&after=``:
+        ``next`` carries the cursor for the following page, or ``None``
+        on the last one.  O(page), not O(store) — the store pages on
+        its primary key.
+        """
+        records = self.store.list_jobs(limit=limit, after=after)
+        next_cursor = records[-1].job_id if len(records) == limit else None
+        return {
+            "jobs": [record.progress() for record in records],
+            "count": len(records),
+            "next": next_cursor,
+        }
+
+    def active_jobs(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._threads.values() if t.is_alive())
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop dispatching chunks and wait for in-flight ones to flush."""
+        self.stop_event.set()
+        with self._lock:
+            threads = list(self._threads.values())
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+
+# ----------------------------------------------------------------------
+# Query-parameter coercion (everything arrives as strings)
+# ----------------------------------------------------------------------
+def _int_query(query: dict, name: str, default: int,
+               lo: int | None = None, hi: int | None = None) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ApiError(400, "invalid_request",
+                       f"query parameter {name!r} must be an int, "
+                       f"got {raw!r}") from None
+    if (lo is not None and value < lo) or (hi is not None and value > hi):
+        raise ApiError(400, "invalid_request",
+                       f"query parameter {name!r} must be in "
+                       f"[{lo}, {hi}], got {value}")
+    return value
+
+
+def _float_query(query: dict, name: str, default: float) -> float:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise ApiError(400, "invalid_request",
+                       f"query parameter {name!r} must be a number, "
+                       f"got {raw!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Route handlers: (ctx, params, body, query) -> payload
+# ----------------------------------------------------------------------
+def _get_health(ctx, params, body, query):
+    return {"ok": True, "version": API_VERSION}
+
+
+def _get_healthz(ctx, params, body, query):
+    import os
+
+    report = ctx.manager.report()
+    return {
+        "ok": True,
+        "version": API_VERSION,
+        "pid": os.getpid(),
+        "draining": ctx.jobs.stop_event.is_set(),
+        "sessions": report["sessions"],
+        "markets": len(report["markets"]),
+        "active_jobs": ctx.jobs.active_jobs(),
+    }
+
+
+def _get_report(ctx, params, body, query):
+    return ctx.manager.report()
+
+
+def _post_market(ctx, params, body, query):
+    spec = MarketSpec.from_dict(body)
+    cached = ctx.manager.pool.contains(spec)
+    market = ctx.manager.market(spec)
+    build_report = None if cached else getattr(
+        market.oracle, "build_report", None
+    )
+    return {
+        "market": spec.digest(),
+        "name": market.name,
+        "n_bundles": len(market.oracle),
+        "target_gain": (
+            float(market.config.target_gain)
+            if market.config.target_gain is not None
+            else None
+        ),
+        "cached": cached,
+        "build_report": (
+            build_report.summary() if build_report is not None else None
+        ),
+    }
+
+
+def _post_session(ctx, params, body, query):
+    spec = SessionSpec.from_dict(body)
+    session_id = ctx.manager.open_session(spec)
+    return ctx.manager.status(session_id)
+
+
+def _get_session(ctx, params, body, query):
+    return ctx.manager.status(params["session_id"])
+
+
+def _post_step(ctx, params, body, query):
+    session_id = params["session_id"]
+    if body.get("until_done"):
+        return ctx.manager.run(session_id)
+    rounds = body.get("rounds", 1)
+    if not isinstance(rounds, int) or rounds < 1:
+        raise ApiError(400, "invalid_request", "rounds must be an int >= 1")
+    return ctx.manager.step(session_id, rounds=rounds)
+
+
+def _get_state(ctx, params, body, query):
+    return ctx.manager.checkpoint(params["session_id"])
+
+
+def _put_state(ctx, params, body, query):
+    restored = ctx.manager.restore(body, session_id=params["session_id"])
+    return ctx.manager.status(restored)
+
+
+def _delete_session(ctx, params, body, query):
+    session_id = params["session_id"]
+    if not ctx.manager.close(session_id):
+        raise ApiError(404, "not_found",
+                       f"unknown session {session_id!r} (closed, evicted, "
+                       f"or never opened)")
+    return {"closed": True, "session": session_id}
+
+
+def _post_simulation(ctx, params, body, query):
+    return ctx.jobs.submit(body)
+
+
+def _get_jobs(ctx, params, body, query):
+    limit = _int_query(query, "limit", 100, 1, 1000)
+    return ctx.jobs.page(limit=limit, after=query.get("after"))
+
+
+def _get_job(ctx, params, body, query):
+    return ctx.jobs.status(params["job_id"])
+
+
+def _post_job_resume(ctx, params, body, query):
+    shards = body.get("shards")
+    return ctx.jobs.resume(params["job_id"], shards=shards)
+
+
+def _get_job_events(ctx, params, body, query) -> Iterator[dict]:
+    """JSON-lines chunk-completion progress, ending on a terminal status.
+
+    The existence check runs eagerly (a 404 must be a 404, not a
+    stream); the generator then polls the durable store and emits one
+    ``progress`` line per observed change, a final ``end`` line when
+    the job reaches a terminal status, or a ``timeout`` line when the
+    client's deadline passes first (the job keeps running).
+    """
+    job_id = params["job_id"]
+    store = ctx.jobs.store
+    store.get(job_id)  # KeyError -> 404, before any line is streamed
+    poll = min(max(_float_query(query, "poll", 0.1), 0.01), 5.0)
+    timeout = min(max(_float_query(query, "timeout", 600.0), 0.0), 3600.0)
+
+    def events() -> Iterator[dict]:
+        deadline = time.monotonic() + timeout
+        last: tuple | None = None
+        while True:
+            record = store.get(job_id)
+            snapshot = (record.status, record.done_chunks)
+            if snapshot != last:
+                last = snapshot
+                yield {
+                    "event": "progress",
+                    "job": job_id,
+                    "status": record.status,
+                    "chunks": record.n_chunks,
+                    "chunks_done": record.done_chunks,
+                }
+            if record.status in _TERMINAL:
+                payload = {
+                    "event": "end",
+                    "job": job_id,
+                    "status": record.status,
+                }
+                if record.digest is not None:
+                    payload["digest"] = record.digest
+                if record.error is not None:
+                    payload["error"] = record.error
+                yield payload
+                return
+            if time.monotonic() >= deadline:
+                yield {"event": "timeout", "job": job_id,
+                       "status": record.status}
+                return
+            time.sleep(poll)
+
+    return events()
+
+
+def _post_chunk(ctx, params, body, query):
+    """Execute one job chunk in this process — the worker protocol.
+
+    A worker server is just ``repro serve``: the
+    :class:`~repro.jobs.remote.RemoteShardExecutor` POSTs the job's
+    canonical ``(kind, spec, start, stop)`` here and records the reply
+    in its own durable store, exactly as a process-pool shard would.
+    """
+    from repro.jobs.executor import CHUNK_RUNNERS
+
+    kind = body.get("kind")
+    if kind not in CHUNK_RUNNERS:
+        raise ApiError(400, "invalid_request",
+                       f"unknown chunk kind {kind!r}; "
+                       f"known: {sorted(CHUNK_RUNNERS)}")
+    spec = body.get("spec")
+    if not isinstance(spec, dict):
+        raise ApiError(400, "invalid_request", "spec must be a JSON object")
+    start, stop = body.get("start"), body.get("stop")
+    if not (isinstance(start, int) and isinstance(stop, int)
+            and 0 <= start < stop):
+        raise ApiError(400, "invalid_request",
+                       "start/stop must be ints with 0 <= start < stop")
+    return CHUNK_RUNNERS[kind](spec, start, stop)
+
+
+# ----------------------------------------------------------------------
+# The route table (the protocol, as data)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Route:
+    """One wire endpoint: dispatch target and documentation source."""
+
+    method: str
+    path: str
+    handler: Callable
+    status: int
+    summary: str
+    request: dict | None = None   # body field -> description
+    query: dict | None = None     # query param -> description
+    response: str = ""
+    streaming: bool = False
+
+    @property
+    def pattern(self) -> re.Pattern:
+        return _compile(self.path)
+
+
+def _compile(path: str) -> re.Pattern:
+    return re.compile(
+        "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", path) + "$"
+    )
+
+
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/v1/health", _get_health, 200,
+          "Liveness probe.",
+          response="`{ok, version}`."),
+    Route("GET", "/v1/healthz", _get_healthz, 200,
+          "Liveness plus session/job/drain status.",
+          response="`{ok, version, pid, draining, sessions, markets, "
+                   "active_jobs}`."),
+    Route("GET", "/v1/report", _get_report, 200,
+          "Operator report: pooled markets, session counts, outcome "
+          "tallies.",
+          response="`{markets, sessions, outcomes}`."),
+    Route("POST", "/v1/markets", _post_market, 200,
+          "Build (or warm) a market from a `MarketSpec`.",
+          request={"<MarketSpec>": "the canonical `MarketSpec` dict; see "
+                                   "`repro.service.specs.MarketSpec.to_dict`"},
+          response="`{market, name, n_bundles, target_gain, cached, "
+                   "build_report}` — `market` is the spec digest other "
+                   "calls may reference; `build_report` is the oracle "
+                   "build summary when this call built it."),
+    Route("POST", "/v1/sessions", _post_session, 201,
+          "Open a bargaining session from a `SessionSpec`.",
+          request={"<SessionSpec>": "the canonical `SessionSpec` dict; "
+                                    "`market` is a full `MarketSpec` dict "
+                                    "or a pool digest"},
+          response="The session status: `{session, market, round, done, "
+                   "quote}`."),
+    Route("GET", "/v1/sessions/{session_id}", _get_session, 200,
+          "One session's current (possibly terminal) status.",
+          response="`{session, market, round, done, quote[, outcome]}`."),
+    Route("POST", "/v1/sessions/{session_id}/step", _post_step, 200,
+          "Advance a session; stepping a terminal session is a no-op.",
+          request={"rounds": "int >= 1 (default 1)",
+                   "until_done": "bool: step to termination instead"},
+          response="The session status after stepping."),
+    Route("GET", "/v1/sessions/{session_id}/state", _get_state, 200,
+          "Checkpoint: a self-contained, shippable session snapshot.",
+          response="`{version, session, market, spec, steps, state, "
+                   "digest}`."),
+    Route("PUT", "/v1/sessions/{session_id}/state", _put_state, 201,
+          "Restore a checkpoint under `session_id` (replay + digest "
+          "verification).",
+          request={"<checkpoint>": "a payload from `GET "
+                                   "/v1/sessions/{session_id}/state`"},
+          response="The restored session's status."),
+    Route("DELETE", "/v1/sessions/{session_id}", _delete_session, 200,
+          "Close a session (404 if it is not resident).",
+          response="`{closed, session}`."),
+    Route("POST", "/v1/simulations", _post_simulation, 202,
+          "Submit a durable sharded simulation job (idempotent per "
+          "content).",
+          request={"<SimulationSpec>": "the canonical `SimulationSpec` dict",
+                   "shards": "worker shards (0 = all cores; default: "
+                             "server setting)",
+                   "chunks": "progress granularity (default: up to 16)"},
+          response="The job's progress: `{job, kind, status, chunks, "
+                   "chunks_done, started[, digest, report]}`."),
+    Route("GET", "/v1/jobs", _get_jobs, 200,
+          "Page through recorded jobs in deterministic job-id order.",
+          query={"limit": "page size, 1..1000 (default 100)",
+                 "after": "cursor: the `next` value of the previous page"},
+          response="`{jobs, count, next}` — `next` is `null` on the "
+                   "last page."),
+    Route("GET", "/v1/jobs/{job_id}", _get_job, 200,
+          "One job's progress, plus its report once finished.",
+          response="`{job, kind, status, chunks, chunks_done[, digest, "
+                   "report, error]}`."),
+    Route("POST", "/v1/jobs/{job_id}/resume", _post_job_resume, 202,
+          "Restart a recorded job's pending chunks (no-op when done).",
+          request={"shards": "worker shards for this resume (optional)"},
+          response="The job's progress with `started`."),
+    Route("GET", "/v1/jobs/{job_id}/events", _get_job_events, 200,
+          "Stream chunk-completion progress as JSON lines until the job "
+          "reaches a terminal status.",
+          query={"poll": "store poll interval in seconds (default 0.1)",
+                 "timeout": "stream deadline in seconds (default 600)"},
+          response="JSON lines: `{event: progress|end|timeout, job, "
+                   "status, ...}`; `end` carries `digest`/`error`.",
+          streaming=True),
+    Route("POST", "/v1/chunks", _post_chunk, 200,
+          "Execute one job chunk synchronously — the multi-host worker "
+          "protocol behind `RemoteShardExecutor`.",
+          request={"kind": "job kind (`simulation` or `batch`)",
+                   "spec": "the job's canonical spec dict",
+                   "start": "chunk start index (inclusive)",
+                   "stop": "chunk stop index (exclusive)"},
+          response="The chunk result payload, exactly as a process-pool "
+                   "shard would record it."),
+)
+
+_COMPILED = tuple((route, _compile(route.path)) for route in ROUTES)
+
+#: Unversioned route heads served before the /v1 mount; requests to them
+#: are answered with a deprecation envelope (301 for GET, 410 otherwise).
+_LEGACY_HEADS = frozenset(
+    {"health", "healthz", "report", "markets", "sessions", "simulations",
+     "jobs"}
+)
+
+
+def legacy_location(path: str) -> str | None:
+    """The ``/v1`` home of a legacy unversioned path (else ``None``)."""
+    head = path.lstrip("/").split("/", 1)[0]
+    if head in _LEGACY_HEADS and not path.startswith("/v1/"):
+        return "/v1" + path
+    return None
+
+
+def _match(method: str, path: str) -> tuple[Route, dict]:
+    allowed: list[str] = []
+    for route, pattern in _COMPILED:
+        found = pattern.match(path)
+        if not found:
+            continue
+        if route.method == method:
+            return route, found.groupdict()
+        allowed.append(route.method)
+    if allowed:
+        raise ApiError(
+            405, "method_not_allowed",
+            f"{path} does not accept {method}",
+            {"allowed": sorted(set(allowed))},
+        )
+    raise ApiError(404, "not_found", f"no route {method} {path}")
+
+
+def dispatch(
+    ctx: ServiceContext,
+    method: str,
+    path: str,
+    *,
+    body: dict | None = None,
+    query: dict | None = None,
+) -> ApiReply:
+    """Route one request; never raises — errors become envelope replies.
+
+    ``body`` is the parsed JSON object (transports own body-level
+    errors: 411/413/invalid JSON); ``query`` maps parameter names to
+    their raw string values.
+    """
+    try:
+        route, params = _match(method, path)
+        payload = route.handler(ctx, params, body or {}, query or {})
+        return ApiReply(payload, route.status, streaming=route.streaming)
+    except ApiError as exc:
+        return ApiReply(exc.envelope(), exc.status)
+    except SessionConflictError as exc:
+        return ApiReply(error_envelope("conflict", str(exc)), 409)
+    except SessionLimitError as exc:
+        return ApiReply(error_envelope("capacity", str(exc)), 429)
+    except (ValueError, TypeError) as exc:  # spec/body validation
+        # TypeError covers wrong-typed spec fields (e.g. a string
+        # n_bundles failing a numeric comparison) — still a 400,
+        # not a dropped connection.
+        return ApiReply(error_envelope("invalid_request", str(exc)), 400)
+    except KeyError as exc:  # unknown session/job
+        return ApiReply(
+            error_envelope("not_found", str(exc).strip("'\"")), 404
+        )
+    except Exception as exc:  # pragma: no cover - handler bugs
+        return ApiReply(
+            error_envelope("internal", f"{type(exc).__name__}: {exc}"), 500
+        )

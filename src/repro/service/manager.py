@@ -34,7 +34,21 @@ from repro.market.market import Market
 from repro.service.specs import MarketSpec, SessionSpec
 from repro.utils.validation import require
 
-__all__ = ["MarketPool", "SessionManager", "shared_pool"]
+__all__ = [
+    "MarketPool",
+    "SessionConflictError",
+    "SessionLimitError",
+    "SessionManager",
+    "shared_pool",
+]
+
+
+class SessionLimitError(RuntimeError):
+    """Resident-session cap reached (HTTP 429 on the wire)."""
+
+
+class SessionConflictError(RuntimeError):
+    """A session id is already resident (HTTP 409 on the wire)."""
 
 
 class MarketPool:
@@ -253,7 +267,7 @@ class SessionManager:
         with self._lock:
             self._evict_locked(now)
             if len(self._sessions) >= self.max_sessions:
-                raise RuntimeError(
+                raise SessionLimitError(
                     f"session limit reached ({self.max_sessions}); "
                     f"close or evict sessions first"
                 )
@@ -263,7 +277,7 @@ class SessionManager:
                     if session_id not in self._sessions:
                         break
             elif session_id in self._sessions:
-                raise RuntimeError(
+                raise SessionConflictError(
                     f"session {session_id!r} is already resident; close it "
                     f"before restoring a checkpoint under its id"
                 )

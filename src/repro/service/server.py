@@ -1,44 +1,48 @@
-"""``python -m repro serve`` — the marketplace as a JSON HTTP API.
+"""``python -m repro serve`` — the ``/v1`` wire protocol over HTTP.
 
 A deliberately dependency-free server (stdlib ``http.server`` with
-``ThreadingHTTPServer``) over one :class:`~repro.service.manager.SessionManager`:
-every request thread steps its own sessions while sharing the warm
-market pool, which is exactly the concurrency seam the manager's
-per-session locks exist for.
+``ThreadingHTTPServer``) that is pure transport glue: every request is
+parsed (path, query, JSON body with 411/413 enforcement) and handed to
+:func:`repro.service.api.dispatch`, the same route table the in-process
+:class:`~repro.client.local.LocalTransport` drives — so HTTP and
+embedded clients see byte-identical payloads by construction.
 
-Routes (all bodies and replies are JSON):
+The full wire reference (routes, request/response shapes, error codes)
+is generated from that route table into ``docs/API.md``; the highlights:
 
-=======  ==========================  ==========================================
-Method   Path                        Meaning
-=======  ==========================  ==========================================
-GET      ``/health``                 liveness probe
-GET      ``/healthz``                liveness + session/job/drain status
-GET      ``/report``                 manager report (markets, sessions, outcomes)
-POST     ``/markets``                build/warm a market from a ``MarketSpec``
-POST     ``/sessions``               open a session from a ``SessionSpec``
-GET      ``/sessions/<id>``          session status
-POST     ``/sessions/<id>/step``     advance (body: ``{"rounds": n}`` or
-                                     ``{"until_done": true}``; default 1 round)
-GET      ``/sessions/<id>/state``    checkpoint: the session's engine state
-PUT      ``/sessions/<id>/state``    restore a checkpoint under ``<id>``
-DELETE   ``/sessions/<id>``          close a session
-POST     ``/simulations``            submit a ``SimulationSpec`` job (sharded,
-                                     durable; body may add ``shards``/``chunks``)
-GET      ``/jobs``                   every recorded job's progress
-GET      ``/jobs/<id>``              one job's progress + report when done
-=======  ==========================  ==========================================
+=======  ====================================  =========================
+Method   Path                                  Meaning
+=======  ====================================  =========================
+GET      ``/v1/health``, ``/v1/healthz``       liveness / status probes
+GET      ``/v1/report``                        operator report
+POST     ``/v1/markets``                       build/warm a market
+POST     ``/v1/sessions``                      open a session
+POST     ``/v1/sessions/<id>/step``            advance a session
+GET/PUT  ``/v1/sessions/<id>/state``           checkpoint / restore
+DELETE   ``/v1/sessions/<id>``                 close a session
+POST     ``/v1/simulations``                   submit a durable job
+GET      ``/v1/jobs?limit=&after=``            paginated job listings
+GET      ``/v1/jobs/<id>``                     one job's progress
+POST     ``/v1/jobs/<id>/resume``              restart pending chunks
+GET      ``/v1/jobs/<id>/events``              JSON-lines progress stream
+POST     ``/v1/chunks``                        multi-host worker protocol
+=======  ====================================  =========================
+
+Legacy unversioned paths (``/sessions``, ``/jobs``, ...) answer with a
+deprecation envelope: 301 + ``Location`` for GET (stdlib clients follow
+it transparently), 410 for anything else.
 
 Example walkthrough (against ``python -m repro serve --port 8765``)::
 
-    curl -s localhost:8765/healthz
-    curl -s -X POST localhost:8765/markets -d '{"dataset": "synthetic"}'
-    curl -s -X POST localhost:8765/sessions \
+    curl -s localhost:8765/v1/healthz
+    curl -s -X POST localhost:8765/v1/markets -d '{"dataset": "synthetic"}'
+    curl -s -X POST localhost:8765/v1/sessions \
          -d '{"market": {"dataset": "synthetic"}, "seed": 0}'
-    curl -s -X POST localhost:8765/sessions/s000000/step \
+    curl -s -X POST localhost:8765/v1/sessions/s000000/step \
          -d '{"until_done": true}'
-    curl -s -X POST localhost:8765/simulations \
+    curl -s -X POST localhost:8765/v1/simulations \
          -d '{"sessions": 500, "seed": 0, "shards": 2}'
-    curl -s localhost:8765/jobs
+    curl -sN localhost:8765/v1/jobs/<id>/events
 
 ``run_server`` installs a SIGTERM handler for graceful shutdown: the
 listener stops, running jobs drain to the durable store (they resume
@@ -50,287 +54,212 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import re
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
 
+from repro.service.api import (
+    ApiError,
+    JobService,
+    ServiceContext,
+    dispatch,
+    error_envelope,
+    legacy_location,
+)
 from repro.service.manager import SessionManager
-from repro.service.specs import MarketSpec, SessionSpec, SimulationSpec
-from repro.utils.canonical import json_safe
 
 __all__ = ["JobService", "create_server", "run_server"]
 
-_SESSION_ROUTE = re.compile(r"^/sessions/([^/]+)(/step|/state)?$")
-_JOB_ROUTE = re.compile(r"^/jobs/([^/]+)$")
+#: Request bodies above this are refused with 413 before any read — an
+#: oversized (or lying) Content-Length must not park a handler thread
+#: on a multi-gigabyte ``rfile.read``.
+MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
-class JobService:
-    """Background execution of simulation jobs behind the HTTP front door.
+class _MarketplaceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client hang-ups as routine."""
 
-    Jobs are durable (the :class:`~repro.jobs.store.JobStore`) and run
-    on daemon threads over the sharded executor; submitting the same
-    spec twice attaches to the standing job instead of duplicating it.
-    ``drain()`` is the graceful-shutdown hook: no further chunks are
-    dispatched, in-flight chunks flush to the store, and interrupted
-    jobs resume later via ``repro jobs resume`` (or a resubmit).
-    """
+    daemon_threads = True
 
-    def __init__(self, store=None, *, shards: int = 2):
-        self._store = store
-        self.shards = shards
-        self.stop_event = threading.Event()
-        self._threads: dict[str, threading.Thread] = {}
-        self._lock = threading.Lock()
-        # Lazy-init guard for `store` only — deliberately NOT self._lock,
-        # so the property stays safe to call from code holding the
-        # service lock (every handler touches self._lock).
-        self._store_lock = threading.Lock()
+    def handle_error(self, request, client_address) -> None:
+        import sys
 
-    @property
-    def store(self):
-        with self._store_lock:
-            if self._store is None:
-                from repro.jobs import JobStore, default_store_path
-
-                self._store = JobStore(default_store_path())
-            return self._store
-
-    # ------------------------------------------------------------------
-    def submit(self, payload: dict) -> dict:
-        """Record the job and (re)start its background execution."""
-        from repro.jobs import ShardedExecutor
-
-        body = dict(payload)
-        chunks = body.pop("chunks", None)
-        # Explicit None check: shards=0 is a valid request ("all cores")
-        # and must not fall back to the server default.
-        shards = body.pop("shards", None)
-        if shards is None:
-            shards = self.shards
-        spec = SimulationSpec.from_dict(body)
-        executor = ShardedExecutor(
-            self.store, shards=int(shards), stop_event=self.stop_event
-        )
-        record = executor.submit(spec, chunks=chunks)
-        started = self._start(record.job_id, executor)
-        reply = self.status(record.job_id)
-        reply["started"] = started
-        return reply
-
-    def _start(self, job_id: str, executor) -> bool:
-        def work() -> None:
-            try:
-                executor.run(job_id)
-            except Exception:  # recorded as `failed` in the store
-                pass
-
-        # Check-and-register under one lock acquisition: two concurrent
-        # submits of the same (content-addressed) job must start exactly
-        # one worker thread, not race past each other's liveness check.
-        store = self.store
-        with self._lock:
-            thread = self._threads.get(job_id)
-            if thread is not None and thread.is_alive():
-                return False
-            if store.get(job_id).finished or self.stop_event.is_set():
-                return False
-            thread = threading.Thread(
-                target=work, name=f"job-{job_id}", daemon=True
-            )
-            self._threads[job_id] = thread
-        thread.start()
-        return True
-
-    # ------------------------------------------------------------------
-    def status(self, job_id: str) -> dict:
-        """One job's progress (plus its report once finished)."""
-        record = self.store.get(job_id)  # KeyError -> 404
-        payload = record.progress()
-        if record.report is not None:
-            payload["report"] = json_safe(record.report)
-        return payload
-
-    def jobs(self) -> list[dict]:
-        return [record.progress() for record in self.store.jobs()]
-
-    def active_jobs(self) -> int:
-        with self._lock:
-            return sum(1 for t in self._threads.values() if t.is_alive())
-
-    def drain(self, timeout: float = 30.0) -> None:
-        """Stop dispatching chunks and wait for in-flight ones to flush."""
-        self.stop_event.set()
-        with self._lock:
-            threads = list(self._threads.values())
-        deadline = time.monotonic() + timeout
-        for thread in threads:
-            thread.join(max(0.0, deadline - time.monotonic()))
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+            return  # a client dropping its keep-alive is not an error
+        super().handle_error(request, client_address)
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
-    """Routes requests onto the server's :class:`SessionManager`."""
+    """Transport glue: parse the request, hand it to ``api.dispatch``."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     protocol_version = "HTTP/1.1"
+    # Nagle + delayed ACK costs ~40ms per small keep-alive exchange;
+    # an RPC-shaped protocol must write segments immediately.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     @property
-    def manager(self) -> SessionManager:
-        return self.server.manager  # type: ignore[attr-defined]
-
-    @property
-    def jobs(self) -> JobService:
-        return self.server.jobs  # type: ignore[attr-defined]
+    def ctx(self) -> ServiceContext:
+        return self.server.ctx  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: object) -> None:
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
+    # ------------------------------------------------------------------
+    # Body parsing: 411/413 are transport-level protocol errors
+    # ------------------------------------------------------------------
     def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            raise ApiError(
+                411, "length_required",
+                "chunked request bodies are not accepted; send "
+                "Content-Length",
+            )
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            return {}
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ApiError(
+                411, "length_required",
+                f"Content-Length {raw_length!r} is not an integer",
+            ) from None
+        if length < 0:
+            raise ApiError(
+                411, "length_required",
+                f"Content-Length must be >= 0, got {length}",
+            )
         if length == 0:
             return {}
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                413, "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+                {"max_bytes": MAX_BODY_BYTES},
+            )
         raw = self.rfile.read(length)
+        if len(raw) < length:
+            raise ApiError(
+                400, "invalid_request",
+                f"request body ended after {len(raw)} of the declared "
+                f"{length} bytes",
+            )
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}") from None
+            raise ApiError(
+                400, "invalid_request",
+                f"request body is not valid JSON: {exc}",
+            ) from None
         if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
+            raise ApiError(
+                400, "invalid_request", "request body must be a JSON object"
+            )
         return payload
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def _reply(self, payload: dict, status: int = 200,
+               headers: dict | None = None) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if self.close_connection:
+            # Announce it: a silent close would strand keep-alive
+            # clients on a dead connection.
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 
-    def _dispatch(self, handler) -> None:
+    def _reply_stream(self, lines, status: int = 200) -> None:
+        """Chunked-encoded JSON lines, flushed as they are produced."""
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
         try:
-            payload, status = handler()
-        except (ValueError, TypeError) as exc:  # spec/body validation
-            # TypeError covers wrong-typed spec fields (e.g. a string
-            # n_bundles failing a numeric comparison) — still a 400,
-            # not a dropped connection.
-            payload, status = {"error": str(exc)}, 400
-        except KeyError as exc:  # unknown session
-            payload, status = {"error": str(exc).strip("'\"")}, 404
-        except RuntimeError as exc:  # session limit
-            payload, status = {"error": str(exc)}, 429
-        self._reply(payload, status)
+            for item in lines:
+                blob = json.dumps(item).encode("utf-8") + b"\n"
+                self.wfile.write(b"%X\r\n%s\r\n" % (len(blob), blob))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-stream; nothing left to tell it.
+            self.close_connection = True
+            return
+        self.wfile.write(b"0\r\n\r\n")
 
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        match = _SESSION_ROUTE.match(self.path)
-        job = _JOB_ROUTE.match(self.path)
-        if self.path == "/health":
-            self._dispatch(lambda: ({"ok": True}, 200))
-        elif self.path == "/healthz":
-            self._dispatch(self._get_healthz)
-        elif self.path == "/report":
-            self._dispatch(lambda: (self.manager.report(), 200))
-        elif self.path == "/jobs":
-            self._dispatch(lambda: ({"jobs": self.jobs.jobs()}, 200))
-        elif job:
-            job_id = job.group(1)
-            self._dispatch(lambda: (self.jobs.status(job_id), 200))
-        elif match and match.group(2) == "/state":
-            sid = match.group(1)
-            self._dispatch(lambda: (self.manager.checkpoint(sid), 200))
-        elif match and not match.group(2):
-            sid = match.group(1)
-            self._dispatch(lambda: (self.manager.status(sid), 200))
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _handle(self, method: str) -> None:
+        parsed = urlsplit(self.path)
+        path, query = parsed.path, dict(parse_qsl(parsed.query))
+
+        home = legacy_location(path)
+        if home is not None:
+            # Deprecation envelope: GETs are redirected (stdlib clients
+            # follow 301 transparently), mutating methods are refused —
+            # silently replaying a POST at a new location is how
+            # clients double-submit.
+            self.close_connection = True
+            if method == "GET":
+                self._reply(
+                    error_envelope(
+                        "moved",
+                        f"unversioned routes moved under /v1; "
+                        f"GET {home} instead",
+                        {"location": home},
+                    ),
+                    301,
+                    headers={"Location": home},
+                )
+            else:
+                self._reply(
+                    error_envelope(
+                        "gone",
+                        f"unversioned routes were removed; "
+                        f"{method} {home} instead",
+                        {"location": home},
+                    ),
+                    410,
+                )
+            return
+
+        try:
+            body = self._body()
+        except ApiError as exc:
+            # The request body was not (fully) consumed; this
+            # connection cannot carry another request.
+            self.close_connection = True
+            self._reply(exc.envelope(), exc.status)
+            return
+
+        reply = dispatch(self.ctx, method, path, body=body, query=query)
+        if reply.streaming:
+            self._reply_stream(reply.payload, reply.status)
         else:
-            self._reply({"error": f"no route GET {self.path}"}, 404)
+            self._reply(reply.payload, reply.status, headers=reply.headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        match = _SESSION_ROUTE.match(self.path)
-        if self.path == "/markets":
-            self._dispatch(self._post_market)
-        elif self.path == "/sessions":
-            self._dispatch(self._post_session)
-        elif self.path == "/simulations":
-            self._dispatch(lambda: (self.jobs.submit(self._body()), 202))
-        elif match and match.group(2) == "/step":
-            self._dispatch(lambda: self._post_step(match.group(1)))
-        else:
-            self._reply({"error": f"no route POST {self.path}"}, 404)
+        self._handle("POST")
 
     def do_PUT(self) -> None:  # noqa: N802 - http.server API
-        match = _SESSION_ROUTE.match(self.path)
-        if match and match.group(2) == "/state":
-            sid = match.group(1)
-            self._dispatch(
-                lambda: (
-                    self.manager.status(
-                        self.manager.restore(self._body(), session_id=sid)
-                    ),
-                    201,
-                )
-            )
-        else:
-            self._reply({"error": f"no route PUT {self.path}"}, 404)
+        self._handle("PUT")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        match = _SESSION_ROUTE.match(self.path)
-        if match and not match.group(2):
-            sid = match.group(1)
-            self._dispatch(lambda: ({"closed": self.manager.close(sid)}, 200))
-        else:
-            self._reply({"error": f"no route DELETE {self.path}"}, 404)
-
-    # ------------------------------------------------------------------
-    def _get_healthz(self) -> tuple[dict, int]:
-        report = self.manager.report()
-        return (
-            {
-                "ok": True,
-                "pid": os.getpid(),
-                "draining": self.jobs.stop_event.is_set(),
-                "sessions": report["sessions"],
-                "markets": len(report["markets"]),
-                "active_jobs": self.jobs.active_jobs(),
-            },
-            200,
-        )
-
-    # ------------------------------------------------------------------
-    def _post_market(self) -> tuple[dict, int]:
-        spec = MarketSpec.from_dict(self._body())
-        cached = self.manager.pool.contains(spec)
-        market = self.manager.market(spec)
-        return (
-            {
-                "market": spec.digest(),
-                "name": market.name,
-                "n_bundles": len(market.oracle),
-                "target_gain": (
-                    float(market.config.target_gain)
-                    if market.config.target_gain is not None
-                    else None
-                ),
-                "cached": cached,
-            },
-            200,
-        )
-
-    def _post_session(self) -> tuple[dict, int]:
-        spec = SessionSpec.from_dict(self._body())
-        session_id = self.manager.open_session(spec)
-        return self.manager.status(session_id), 201
-
-    def _post_step(self, session_id: str) -> tuple[dict, int]:
-        body = self._body()
-        if body.get("until_done"):
-            return self.manager.run(session_id), 200
-        rounds = body.get("rounds", 1)
-        if not isinstance(rounds, int) or rounds < 1:
-            raise ValueError("rounds must be an int >= 1")
-        return self.manager.step(session_id, rounds=rounds), 200
+        self._handle("DELETE")
 
 
 def create_server(
@@ -349,10 +278,15 @@ def create_server(
     defaults to a :class:`JobService` over the default durable store
     (created lazily on the first submission).
     """
-    server = ThreadingHTTPServer((host, port), _ServiceHandler)
-    server.daemon_threads = True
-    server.manager = manager if manager is not None else SessionManager()  # type: ignore[attr-defined]
-    server.jobs = jobs if jobs is not None else JobService()  # type: ignore[attr-defined]
+    server = _MarketplaceServer((host, port), _ServiceHandler)
+    ctx = ServiceContext(
+        manager=manager if manager is not None else SessionManager(),
+        jobs=jobs if jobs is not None else JobService(),
+    )
+    server.ctx = ctx  # type: ignore[attr-defined]
+    # Convenience aliases (tests and embedders reach for these).
+    server.manager = ctx.manager  # type: ignore[attr-defined]
+    server.jobs = ctx.jobs  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 

@@ -1,0 +1,168 @@
+"""HTTP transport behaviour: retries, reuse, error mapping, streaming."""
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.client import (
+    GoneError,
+    HttpTransport,
+    MarketplaceClient,
+    NotFoundError,
+    RequestError,
+    TransportError,
+    error_from_reply,
+)
+from repro.service import MarketPool, SessionManager, create_server
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    from repro.jobs import JobStore
+    from repro.service import JobService
+
+    store = JobStore(
+        str(tmp_path_factory.mktemp("http-transport") / "jobs.sqlite3")
+    )
+    server = create_server(
+        port=0,
+        manager=SessionManager(pool=MarketPool()),
+        jobs=JobService(store, shards=2),
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://%s:%s" % server.server_address[:2]
+    yield {"url": url, "server": server}
+    server.shutdown()
+    server.server_close()
+
+
+def _dead_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestRetries:
+    def test_retry_then_fail_counts_attempts(self):
+        transport = HttpTransport(
+            f"http://127.0.0.1:{_dead_port()}", retries=2, backoff=0.01
+        )
+        with pytest.raises(TransportError) as excinfo:
+            transport.request("GET", "/v1/health")
+        assert excinfo.value.attempts == 3
+
+    def test_post_refusal_is_retried_too(self):
+        transport = HttpTransport(
+            f"http://127.0.0.1:{_dead_port()}", retries=1, backoff=0.01
+        )
+        with pytest.raises(TransportError) as excinfo:
+            transport.request("POST", "/v1/markets", body={"x": 1})
+        assert excinfo.value.attempts == 2
+
+    def test_zero_retries_fails_on_first_attempt(self):
+        transport = HttpTransport(
+            f"http://127.0.0.1:{_dead_port()}", retries=0
+        )
+        with pytest.raises(TransportError) as excinfo:
+            transport.request("GET", "/v1/health")
+        assert excinfo.value.attempts == 1
+
+
+class TestConnectionReuse:
+    def test_keepalive_connection_is_reused(self, service):
+        transport = HttpTransport(service["url"])
+        transport.request("GET", "/v1/health")
+        first = transport._local.conn
+        transport.request("GET", "/v1/health")
+        assert transport._local.conn is first
+        transport.close()
+        assert transport._local.conn is None
+
+
+class _MalformedHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802
+        blob = b"<html>definitely not json</html>"
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, *args):  # pragma: no cover
+        pass
+
+
+class TestMalformedReplies:
+    def test_non_json_body_raises_transport_error(self):
+        server = HTTPServer(("127.0.0.1", 0), _MalformedHandler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            transport = HttpTransport(
+                "http://%s:%s" % server.server_address[:2], retries=0
+            )
+            with pytest.raises(TransportError, match="non-JSON"):
+                transport.request("GET", "/anything")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestErrorMapping:
+    def test_404_envelope_maps_to_not_found(self, service):
+        client = MarketplaceClient.connect(service["url"])
+        with pytest.raises(NotFoundError) as excinfo:
+            client.session("snope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_legacy_post_maps_to_gone(self, service):
+        transport = HttpTransport(service["url"])
+        status, payload = transport.request(
+            "POST", "/sessions", body={"market": {"dataset": "synthetic"}}
+        )
+        assert status == 410
+        assert payload["error"]["code"] == "gone"
+        assert payload["error"]["detail"]["location"] == "/v1/sessions"
+        error = error_from_reply(status, payload)
+        assert isinstance(error, GoneError)
+
+    def test_405_maps_to_request_error(self, service):
+        transport = HttpTransport(service["url"])
+        status, payload = transport.request("DELETE", "/v1/markets")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert "POST" in payload["error"]["detail"]["allowed"]
+        assert isinstance(error_from_reply(status, payload), RequestError)
+
+
+class TestStreaming:
+    def test_stream_of_unknown_job_raises_before_first_line(self, service):
+        client = MarketplaceClient.connect(service["url"])
+        with pytest.raises(NotFoundError):
+            next(iter(client.job_events("jdeadbeef", timeout=5)))
+
+    def test_stream_timeout_line(self, service):
+        """A stream over a never-finishing job ends with a timeout line."""
+        # A job that is recorded but never started: the stream can only
+        # observe its submitted status, then time out client-side.
+        store = service["server"].jobs.store
+        record = store.submit("simulation", {"sessions": 10, "seed": 0},
+                              [(0, 10)])
+        client = MarketplaceClient.connect(service["url"])
+        events = list(client.job_events(record.job_id, poll=0.05, timeout=0.3))
+        assert events[0]["event"] == "progress"
+        assert events[-1]["event"] == "timeout"
+
+
+class TestBaseUrls:
+    def test_scheme_and_host_validation(self):
+        with pytest.raises(ValueError, match="scheme"):
+            HttpTransport("ftp://example.org")
+        with pytest.raises(ValueError, match="host"):
+            HttpTransport("http://")
+
+    def test_default_scheme_and_port(self):
+        transport = HttpTransport("example.org")
+        assert transport.base_url == "http://example.org:80"

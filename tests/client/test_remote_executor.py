@@ -1,0 +1,154 @@
+"""Multi-host jobs: RemoteShardExecutor vs the single-process digest.
+
+Workers here are real ``create_server`` instances on ephemeral ports —
+the same processes ``python -m repro serve`` would run — and the
+coordinator ships chunks to them over ``POST /v1/chunks``.  The merged
+report must digest-match the single-process
+:class:`~repro.simulate.pool.SessionPool` path through interruption,
+worker death, and resume.
+"""
+
+import threading
+
+import pytest
+
+from repro.jobs import JobStore, RemoteShardExecutor
+from repro.service import (
+    MarketPool,
+    SessionManager,
+    SimulationSpec,
+    create_server,
+    run_simulation,
+)
+
+SPEC = SimulationSpec(sessions=120, seed=11, batch_size=32)
+
+
+def _worker():
+    server = create_server(port=0, manager=SessionManager(pool=MarketPool()))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, "http://%s:%s" % server.server_address[:2]
+
+
+@pytest.fixture
+def workers():
+    started = [_worker() for _ in range(2)]
+    yield [url for _, url in started]
+    for server, _ in started:
+        server.shutdown()
+        server.server_close()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "jobs.sqlite3"))
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    return run_simulation(SPEC)[2].digest()
+
+
+class TestDigestParity:
+    def test_two_workers_match_single_process(self, workers, store,
+                                              reference_digest):
+        executor = RemoteShardExecutor(store, workers)
+        assert {url: h["ok"] for url, h in executor.probe(timeout=10).items()}
+        record = executor.run(executor.submit(SPEC, chunks=6).job_id)
+        assert record.status == "done"
+        assert record.digest == reference_digest
+
+    def test_one_worker_matches_too(self, workers, store, reference_digest):
+        executor = RemoteShardExecutor(store, workers[:1])
+        record = executor.run(executor.submit(SPEC, chunks=4).job_id)
+        assert record.status == "done"
+        assert record.digest == reference_digest
+
+
+class TestKillResume:
+    def test_interrupt_then_resume_with_survivor(self, store,
+                                                 reference_digest):
+        """max_chunks interrupt, kill a worker, resume on the survivor."""
+        (w1, u1), (w2, u2) = _worker(), _worker()
+        try:
+            first = RemoteShardExecutor(store, [u1, u2], max_chunks=2)
+            record = first.run(first.submit(SPEC, chunks=6).job_id)
+            assert record.status == "interrupted"
+            assert 0 < record.done_chunks < record.n_chunks
+
+            # Worker 1 dies; the resume fleet still lists it, so the
+            # executor must discover the corpse and finish on the
+            # survivor — with only the pending chunks re-run.
+            w1.shutdown()
+            w1.server_close()
+            resumed = RemoteShardExecutor(
+                store, [u1, u2],
+                client_options={"retries": 0, "timeout": 10},
+            )
+            record = resumed.run(record.job_id)
+            assert record.status == "done"
+            assert record.digest == reference_digest
+        finally:
+            for server in (w2,):
+                server.shutdown()
+                server.server_close()
+
+    def test_dead_worker_is_dropped_and_chunks_requeued(self, store,
+                                                        reference_digest):
+        (alive_server, alive_url), (dead_server, dead_url) = (
+            _worker(), _worker()
+        )
+        try:
+            dead_server.shutdown()
+            dead_server.server_close()
+            executor = RemoteShardExecutor(
+                store, [dead_url, alive_url],
+                client_options={"retries": 0, "timeout": 10},
+            )
+            record = executor.run(executor.submit(SPEC, chunks=4).job_id)
+            assert record.status == "done"
+            assert record.digest == reference_digest
+        finally:
+            alive_server.shutdown()
+            alive_server.server_close()
+
+    def test_all_workers_dead_leaves_job_resumable(self, store,
+                                                   reference_digest):
+        server, url = _worker()
+        server.shutdown()
+        server.server_close()
+        executor = RemoteShardExecutor(
+            store, [url], client_options={"retries": 0, "timeout": 5}
+        )
+        record = executor.run(executor.submit(SPEC, chunks=4).job_id)
+        assert record.status == "interrupted"
+        assert record.done_chunks == 0
+
+        live_server, live_url = _worker()
+        try:
+            resumed = RemoteShardExecutor(store, [live_url])
+            record = resumed.run(record.job_id)
+            assert record.status == "done"
+            assert record.digest == reference_digest
+        finally:
+            live_server.shutdown()
+            live_server.server_close()
+
+
+class TestFailureSemantics:
+    def test_worker_error_reply_fails_the_job(self, workers, store):
+        """A chunk that *raises* (bad spec) fails the job, not retries."""
+        from repro.client import ClientError
+
+        record = store.submit("simulation", {"sessions": "nonsense"},
+                              [(0, 1)])
+        executor = RemoteShardExecutor(store, workers)
+        with pytest.raises(ClientError):
+            executor.run(record.job_id)
+        assert store.get(record.job_id).status == "failed"
+
+    def test_worker_urls_validated(self, store):
+        with pytest.raises(ValueError, match="at least one"):
+            RemoteShardExecutor(store, [])
+        with pytest.raises(ValueError, match="duplicate"):
+            RemoteShardExecutor(store, ["http://a:1", "http://a:1"])

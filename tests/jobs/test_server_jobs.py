@@ -1,7 +1,7 @@
 """HTTP jobs + checkpoint/restore over the wire.
 
-``POST /simulations`` submits durable sharded jobs; ``GET /jobs/<id>``
-polls their progress; ``GET``/``PUT /sessions/<id>/state`` ship an
+``POST /v1/simulations`` submits durable sharded jobs; ``GET /v1/jobs/<id>``
+polls their progress; ``GET``/``PUT /v1/sessions/<id>/state`` ship an
 in-flight session between two live servers with a bit-identical
 remaining trace.
 """
@@ -54,7 +54,7 @@ def service(tmp_path):
 
 class TestHealthz:
     def test_healthz_reports_liveness(self, service):
-        status, payload = _call(f"{service['url']}/healthz")
+        status, payload = _call(f"{service['url']}/v1/healthz")
         assert status == 200
         assert payload["ok"] and not payload["draining"]
         assert payload["pid"] > 0
@@ -66,7 +66,7 @@ class TestSimulationJobs:
     def _wait_done(self, url, job_id, timeout=120.0):
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            status, payload = _call(f"{url}/jobs/{job_id}")
+            status, payload = _call(f"{url}/v1/jobs/{job_id}")
             assert status == 200, payload
             if payload["status"] in ("done", "failed"):
                 return payload
@@ -75,7 +75,7 @@ class TestSimulationJobs:
 
     def test_submit_poll_report_digest(self, service):
         status, submitted = _call(
-            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+            f"{service['url']}/v1/simulations", "POST", {**SIM, "chunks": 3}
         )
         assert status == 202, submitted
         assert submitted["status"] in ("submitted", "running", "done")
@@ -90,11 +90,11 @@ class TestSimulationJobs:
 
     def test_resubmit_attaches_to_finished_job(self, service):
         _, submitted = _call(
-            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+            f"{service['url']}/v1/simulations", "POST", {**SIM, "chunks": 3}
         )
         self._wait_done(service["url"], submitted["job"])
         status, again = _call(
-            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 3}
+            f"{service['url']}/v1/simulations", "POST", {**SIM, "chunks": 3}
         )
         assert status == 202
         assert again["job"] == submitted["job"]
@@ -102,31 +102,31 @@ class TestSimulationJobs:
 
     def test_jobs_listing_and_unknown_job(self, service):
         _, submitted = _call(
-            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 2}
+            f"{service['url']}/v1/simulations", "POST", {**SIM, "chunks": 2}
         )
-        status, listing = _call(f"{service['url']}/jobs")
+        status, listing = _call(f"{service['url']}/v1/jobs")
         assert status == 200
         assert submitted["job"] in {j["job"] for j in listing["jobs"]}
-        status, error = _call(f"{service['url']}/jobs/jdeadbeef")
-        assert status == 404 and "unknown job" in error["error"]
+        status, error = _call(f"{service['url']}/v1/jobs/jdeadbeef")
+        assert status == 404 and "unknown job" in error["error"]["message"]
 
     def test_invalid_spec_rejected(self, service):
         status, error = _call(
-            f"{service['url']}/simulations", "POST", {"sessions": -1}
+            f"{service['url']}/v1/simulations", "POST", {"sessions": -1}
         )
-        assert status == 400 and "sessions" in error["error"]
+        assert status == 400 and "sessions" in error["error"]["message"]
 
 
 class TestCheckpointOverTheWire:
     def test_ship_session_between_two_servers(self, service, tmp_path):
         url = service["url"]
         _, opened = _call(
-            f"{url}/sessions", "POST",
+            f"{url}/v1/sessions", "POST",
             {"market": {"dataset": "synthetic", "seed": 2}, "seed": 0},
         )
         sid = opened["session"]
-        _call(f"{url}/sessions/{sid}/step", "POST", {"rounds": 2})
-        status, checkpoint = _call(f"{url}/sessions/{sid}/state")
+        _call(f"{url}/v1/sessions/{sid}/step", "POST", {"rounds": 2})
+        status, checkpoint = _call(f"{url}/v1/sessions/{sid}/state")
         assert status == 200
         assert checkpoint["state"]["round_number"] == 2
 
@@ -141,15 +141,15 @@ class TestCheckpointOverTheWire:
         try:
             other_url = "http://%s:%s" % other.server_address[:2]
             status, restored = _call(
-                f"{other_url}/sessions/{sid}/state", "PUT", checkpoint
+                f"{other_url}/v1/sessions/{sid}/state", "PUT", checkpoint
             )
             assert status == 201, restored
             assert restored["session"] == sid
             assert restored["round"] == 2
 
-            _, final_a = _call(f"{url}/sessions/{sid}/step", "POST",
+            _, final_a = _call(f"{url}/v1/sessions/{sid}/step", "POST",
                                {"until_done": True})
-            _, final_b = _call(f"{other_url}/sessions/{sid}/step", "POST",
+            _, final_b = _call(f"{other_url}/v1/sessions/{sid}/step", "POST",
                                {"until_done": True})
             assert final_a["done"] and final_b["done"]
             assert final_a["outcome"] == final_b["outcome"]
@@ -160,17 +160,17 @@ class TestCheckpointOverTheWire:
     def test_tampered_checkpoint_rejected_with_400(self, service):
         url = service["url"]
         _, opened = _call(
-            f"{url}/sessions", "POST",
+            f"{url}/v1/sessions", "POST",
             {"market": {"dataset": "synthetic", "seed": 2}, "seed": 1},
         )
         sid = opened["session"]
-        _call(f"{url}/sessions/{sid}/step", "POST", {"rounds": 1})
-        _, checkpoint = _call(f"{url}/sessions/{sid}/state")
+        _call(f"{url}/v1/sessions/{sid}/step", "POST", {"rounds": 1})
+        _, checkpoint = _call(f"{url}/v1/sessions/{sid}/state")
         checkpoint["state"]["quote"]["base"] += 0.5
         status, error = _call(
-            f"{url}/sessions/fresh-id/state", "PUT", checkpoint
+            f"{url}/v1/sessions/fresh-id/state", "PUT", checkpoint
         )
-        assert status == 400 and "digest mismatch" in error["error"]
+        assert status == 400 and "digest mismatch" in error["error"]["message"]
 
 
 class TestDrain:
@@ -178,11 +178,11 @@ class TestDrain:
         server = service["server"]
         jobs: JobService = server.jobs
         jobs.stop_event.set()  # what SIGTERM triggers before joining
-        status, payload = _call(f"{service['url']}/healthz")
+        status, payload = _call(f"{service['url']}/v1/healthz")
         assert payload["draining"]
         # A submit during drain records the job but does not start it.
         status, submitted = _call(
-            f"{service['url']}/simulations", "POST", {**SIM, "chunks": 2}
+            f"{service['url']}/v1/simulations", "POST", {**SIM, "chunks": 2}
         )
         assert status == 202
         assert not submitted["started"]

@@ -105,3 +105,46 @@ class TestChunkLayout:
 
     def test_single_chunk(self):
         assert chunk_layout(5, 1) == [(0, 5)]
+
+
+class TestListJobs:
+    """Cursor pagination: deterministic order, O(page) semantics."""
+
+    def _submit_many(self, store, n=7):
+        ids = []
+        for seed in range(n):
+            record = store.submit("simulation", {**SPEC, "seed": seed}, LAYOUT)
+            ids.append(record.job_id)
+        return sorted(ids)
+
+    def test_orders_by_job_id(self, store):
+        ids = self._submit_many(store)
+        listed = [r.job_id for r in store.list_jobs()]
+        assert listed == ids
+
+    def test_limit_and_cursor_walk_every_job_once(self, store):
+        ids = self._submit_many(store)
+        seen, after = [], None
+        while True:
+            page = store.list_jobs(limit=3, after=after)
+            if not page:
+                break
+            seen += [r.job_id for r in page]
+            if len(page) < 3:
+                break
+            after = page[-1].job_id
+        assert seen == ids
+
+    def test_after_is_exclusive(self, store):
+        ids = self._submit_many(store, n=3)
+        page = store.list_jobs(after=ids[0])
+        assert [r.job_id for r in page] == ids[1:]
+
+    def test_empty_store_and_past_the_end(self, store):
+        assert store.list_jobs(limit=5) == []
+        ids = self._submit_many(store, n=2)
+        assert store.list_jobs(after=ids[-1]) == []
+
+    def test_bad_limit_rejected(self, store):
+        with pytest.raises(ValueError, match="limit"):
+            store.list_jobs(limit=0)

@@ -1,0 +1,35 @@
+"""docs/API.md is generated, never drifts from the route table."""
+
+import pathlib
+
+from repro.service.api import ERROR_CODES, ROUTES
+from repro.service.docs import generate_api_markdown
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+
+def test_docs_match_route_table():
+    assert DOCS.exists(), "run: PYTHONPATH=src python scripts/gen_api_docs.py"
+    assert DOCS.read_text() == generate_api_markdown(), (
+        "docs/API.md is stale; regenerate with "
+        "`PYTHONPATH=src python scripts/gen_api_docs.py`"
+    )
+
+
+def test_every_route_documented():
+    content = DOCS.read_text()
+    for route in ROUTES:
+        assert f"`{route.method} {route.path}`" in content
+
+
+def test_every_error_code_documented():
+    content = DOCS.read_text()
+    for code in ERROR_CODES:
+        assert f"`{code}`" in content
+
+
+def test_route_table_is_all_v1():
+    for route in ROUTES:
+        assert route.path.startswith("/v1/"), route.path
+        assert route.summary, f"{route.path} lacks a summary"
+        assert route.response, f"{route.path} lacks a response description"

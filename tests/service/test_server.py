@@ -39,25 +39,30 @@ def _call(url, method="GET", body=None):
 
 class TestRoutes:
     def test_health(self, service):
+        status, payload = _call(f"{service['url']}/v1/health")
+        assert status == 200 and payload == {"ok": True, "version": "v1"}
+
+    def test_legacy_get_redirects_to_v1(self, service):
+        # urllib follows the 301 transparently, landing on /v1/health.
         status, payload = _call(f"{service['url']}/health")
-        assert status == 200 and payload == {"ok": True}
+        assert status == 200 and payload["version"] == "v1"
 
     def test_market_build_and_warm_flag(self, service):
         status, first = _call(
-            f"{service['url']}/markets", "POST", SPEC_DICT
+            f"{service['url']}/v1/markets", "POST", SPEC_DICT
         )
         assert status == 200
         assert first["name"] == "synthetic"
         assert first["n_bundles"] == 24
         assert first["target_gain"] > 0
-        status, again = _call(f"{service['url']}/markets", "POST", SPEC_DICT)
+        status, again = _call(f"{service['url']}/v1/markets", "POST", SPEC_DICT)
         assert again["market"] == first["market"]
         assert not first["cached"] and again["cached"]
 
     def test_full_bargain_to_acceptance(self, service):
         """Open a session and step it round by round until the deal."""
         status, opened = _call(
-            f"{service['url']}/sessions", "POST",
+            f"{service['url']}/v1/sessions", "POST",
             {"market": SPEC_DICT, "seed": 0},
         )
         assert status == 201
@@ -66,7 +71,7 @@ class TestRoutes:
         rounds = 0
         while True:
             status, state = _call(
-                f"{service['url']}/sessions/{session_id}/step", "POST"
+                f"{service['url']}/v1/sessions/{session_id}/step", "POST"
             )
             assert status == 200
             rounds += 1
@@ -83,59 +88,64 @@ class TestRoutes:
         assert outcome["n_rounds"] == expected.n_rounds
         assert outcome["payment"] == expected.payment
         assert outcome["quote"]["cap"] == expected.quote.cap
-        status, _ = _call(
-            f"{service['url']}/sessions/{session_id}", "DELETE"
+        status, closed = _call(
+            f"{service['url']}/v1/sessions/{session_id}", "DELETE"
         )
-        assert status == 200
+        assert status == 200 and closed["closed"]
 
     def test_step_until_done_and_by_market_digest(self, service):
-        _, built = _call(f"{service['url']}/markets", "POST", SPEC_DICT)
+        _, built = _call(f"{service['url']}/v1/markets", "POST", SPEC_DICT)
         _, opened = _call(
-            f"{service['url']}/sessions", "POST",
+            f"{service['url']}/v1/sessions", "POST",
             {"market": built["market"], "seed": 0, "run": 4},
         )
         _, state = _call(
-            f"{service['url']}/sessions/{opened['session']}/step", "POST",
+            f"{service['url']}/v1/sessions/{opened['session']}/step", "POST",
             {"until_done": True},
         )
         assert state["done"] and "outcome" in state
 
     def test_batched_rounds(self, service):
         _, opened = _call(
-            f"{service['url']}/sessions", "POST",
+            f"{service['url']}/v1/sessions", "POST",
             {"market": SPEC_DICT, "seed": 0, "run": 5},
         )
         _, state = _call(
-            f"{service['url']}/sessions/{opened['session']}/step", "POST",
+            f"{service['url']}/v1/sessions/{opened['session']}/step", "POST",
             {"rounds": 10},
         )
         assert state["round"] == 10 or state["done"]
 
     def test_report(self, service):
-        status, report = _call(f"{service['url']}/report")
+        status, report = _call(f"{service['url']}/v1/report")
         assert status == 200
         assert report["sessions"]["opened"] >= 1
         assert report["outcomes"]["accepted"] >= 1
 
     def test_errors(self, service):
         status, payload = _call(
-            f"{service['url']}/markets", "POST", {"dataset": "mnist"}
+            f"{service['url']}/v1/markets", "POST", {"dataset": "mnist"}
         )
-        assert status == 400 and "unknown dataset" in payload["error"]
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "unknown dataset" in payload["error"]["message"]
         status, payload = _call(
-            f"{service['url']}/sessions/shifty/step", "POST"
+            f"{service['url']}/v1/sessions/shifty/step", "POST"
         )
-        assert status == 404 and "unknown session" in payload["error"]
-        status, payload = _call(f"{service['url']}/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        assert "unknown session" in payload["error"]["message"]
+        status, payload = _call(f"{service['url']}/v1/nope")
         assert status == 404
         status, payload = _call(
-            f"{service['url']}/sessions", "POST",
+            f"{service['url']}/v1/sessions", "POST",
             {"market": SPEC_DICT, "task": "oracle_cheat"},
         )
-        assert status == 400 and "unknown task strategy" in payload["error"]
+        assert status == 400
+        assert "unknown task strategy" in payload["error"]["message"]
         # Wrong-typed spec fields must 400, not drop the connection.
         status, payload = _call(
-            f"{service['url']}/markets", "POST",
+            f"{service['url']}/v1/markets", "POST",
             {"dataset": "synthetic", "n_bundles": "ten"},
         )
         assert status == 400 and "error" in payload
@@ -143,13 +153,13 @@ class TestRoutes:
 
 class TestHttpMatchesCli:
     def test_http_session_reproduces_bargain_outcome(self, service):
-        """`POST /sessions` + `/step` reproduces `repro bargain` runs."""
+        """`POST /v1/sessions` + `/step` reproduces `repro bargain` runs."""
         _, opened = _call(
-            f"{service['url']}/sessions", "POST",
+            f"{service['url']}/v1/sessions", "POST",
             {"market": SPEC_DICT, "seed": 1, "run": 0},
         )
         _, state = _call(
-            f"{service['url']}/sessions/{opened['session']}/step", "POST",
+            f"{service['url']}/v1/sessions/{opened['session']}/step", "POST",
             {"until_done": True},
         )
         market = service["pool"].get(MarketSpec.from_dict(SPEC_DICT))
