@@ -12,6 +12,13 @@ Design points:
   blindly replaying a ``POST /v1/sessions/<id>/step`` would advance
   the game twice.  Exhausting the budget raises
   :class:`~repro.client.errors.TransportError` with the attempt count.
+* **Retryable statuses** — a ``429`` (session cap) or ``503`` (server
+  draining) reply means the handler *refused* the request before
+  touching any state, so replaying is safe for every method; both are
+  retried within the same budget, honouring the server's
+  ``Retry-After`` hint.  The exponential backoff is jittered
+  (equal-jitter: half fixed, half random) so a fleet of clients
+  refused together does not re-stampede together.
 * **Streaming** — ``stream()`` opens a dedicated connection (the
   reply has no fixed length; it must not poison the pooled one) and
   yields one parsed JSON object per line.
@@ -21,6 +28,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
@@ -35,6 +43,28 @@ __all__ = ["HttpTransport"]
 #: Failures that prove the server never received the request — always
 #: safe to retry, whatever the method.
 _PRE_SEND_ERRORS = (ConnectionRefusedError, socket.gaierror)
+
+#: Statuses whose handlers refuse the request *before* doing any work
+#: (429 session cap, 503 drain) — replaying cannot double-apply
+#: anything, so they are retryable for every method.
+_RETRY_STATUSES = frozenset({429, 503})
+
+#: A server's Retry-After hint is capped here; a transport retry loop
+#: must not be parked for minutes by one overloaded reply.
+_MAX_RETRY_AFTER = 30.0
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds from a ``Retry-After`` header (delta form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None  # HTTP-date form: not worth a date parser here
+    if seconds < 0:
+        return None
+    return min(seconds, _MAX_RETRY_AFTER)
 
 
 class HttpTransport(Transport):
@@ -143,9 +173,17 @@ class HttpTransport(Transport):
         target = self._target(path, query)
         attempts = self.retries + 1
         last: Exception | None = None
+        retry_after: float | None = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                # Equal-jitter exponential backoff: half deterministic,
+                # half random, floored by the server's Retry-After hint.
+                step = self.backoff * (2 ** (attempt - 1))
+                delay = step / 2 + random.random() * step / 2
+                if retry_after is not None:
+                    delay = max(delay, retry_after)
+                time.sleep(delay)
+            retry_after = None
             sent = False
             try:
                 conn = self._connection()
@@ -173,6 +211,14 @@ class HttpTransport(Transport):
                 ) from exc
             if response.will_close:
                 self._drop()
+            if response.status in _RETRY_STATUSES and attempt + 1 < attempts:
+                # The handler refused before touching state (session
+                # cap / drain); the body is fully read, so the pooled
+                # connection stays clean for the replay.
+                retry_after = _parse_retry_after(
+                    response.getheader("Retry-After")
+                )
+                continue
             try:
                 payload = json.loads(raw.decode("utf-8")) if raw else {}
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:

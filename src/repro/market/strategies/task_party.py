@@ -85,8 +85,9 @@ class StrategicTaskParty(TaskStrategy):
         return self._current
 
     # ------------------------------------------------------------------
-    def _sample_candidates(self, current: QuotedPrice) -> list[QuotedPrice]:
-        """Escalated Eq.5-consistent candidates (Algorithm 1, line 16).
+    def _best_escalation(self, current: QuotedPrice) -> QuotedPrice | None:
+        """Min-cap escalated Eq.5-consistent candidate (Algorithm 1,
+        lines 16-17); ``None`` when the budget leaves no headroom.
 
         Following the algorithm's constraints, rates are sampled in
         ``(p0, u]`` and bases bounded below by ``P0^0`` — both relative
@@ -99,23 +100,86 @@ class StrategicTaskParty(TaskStrategy):
         Because every candidate keeps ``p >= p0`` and ``P0 >= P0^0``,
         bundles affordable under the opening quote stay affordable in
         every later round — the mid-game offer set can only grow.
+
+        The sampling loop is the engine's per-round hot path (two RNG
+        draws per candidate, ``n_price_samples`` candidates per round),
+        so the draws are taken as one block.  The block is drawn from a
+        saved bit-generator state which is then rewound and advanced by
+        the *exact* number of doubles the equivalent scalar loop would
+        have consumed — ``uniform(a, b)`` is ``a + (b - a) * random()``
+        draw-for-draw, so the selected quote, and every draw any later
+        round sees, are bit-identical to the scalar loop's.
         """
         cfg = self.config
-        candidates: list[QuotedPrice] = []
         cap_low = current.cap
         if cap_low >= cfg.budget - 1e-12:
-            return []
+            return None
+        n = cfg.n_price_samples
+        bitgen = self.rng.bit_generator
+        if not hasattr(bitgen, "advance"):  # e.g. MT19937
+            return self._best_escalation_scalar(current)
+        state = bitgen.state
+        # One block instead of up to 2n scalar uniform() calls.  The
+        # rate draw for candidate i happens (in stream order) right
+        # after its cap draw and only when the cap is usable, so the
+        # tape position of each draw is replayed below.
+        tape = self.rng.random(2 * n)
+        span = cfg.budget - cap_low
+        rate_low = cfg.initial_rate
+        base0 = cfg.initial_base
+        rate_cap = cfg.utility_rate
+        target = self.target
+        idx = 0
+        best_cap = float("inf")
+        best_rate = 0.0
+        for _ in range(n):
+            cap = cap_low + span * tape[idx]
+            idx += 1
+            if cap <= cap_low + 1e-12:
+                continue
+            rate_high = min(rate_cap, (cap - base0) / target)
+            if rate_high <= rate_low:
+                continue
+            rate = rate_low + (rate_high - rate_low) * tape[idx]
+            idx += 1
+            if cap < best_cap:
+                best_cap = cap
+                best_rate = rate
+        # Leave the generator exactly where the scalar loop would have:
+        # rewound to the pre-block state, advanced by the doubles
+        # actually consumed.
+        bitgen.state = state
+        bitgen.advance(idx)
+        if best_cap == float("inf"):
+            return None
+        best_cap = float(best_cap)
+        best_rate = float(best_rate)
+        return QuotedPrice(
+            rate=best_rate, base=best_cap - best_rate * target, cap=best_cap
+        )
+
+    def _best_escalation_scalar(
+        self, current: QuotedPrice
+    ) -> QuotedPrice | None:
+        """Draw-for-draw scalar fallback for bit generators that cannot
+        ``advance`` (identical stream consumption to the block path)."""
+        cfg = self.config
+        cap_low = current.cap
+        best: QuotedPrice | None = None
         for _ in range(cfg.n_price_samples):
             cap = float(self.rng.uniform(cap_low, cfg.budget))
             if cap <= cap_low + 1e-12:
                 continue
-            rate_high = min(cfg.utility_rate, (cap - cfg.initial_base) / self.target)
+            rate_high = min(cfg.utility_rate,
+                            (cap - cfg.initial_base) / self.target)
             if rate_high <= cfg.initial_rate:
                 continue
             rate = float(self.rng.uniform(cfg.initial_rate, rate_high))
-            base = cap - rate * self.target
-            candidates.append(QuotedPrice(rate=rate, base=base, cap=cap))
-        return candidates
+            if best is None or cap < best.cap:
+                best = QuotedPrice(
+                    rate=rate, base=cap - rate * self.target, cap=cap
+                )
+        return best
 
 
     def observe(self, quote: QuotedPrice, bundle: object, delta_g: float) -> None:
@@ -160,11 +224,10 @@ class StrategicTaskParty(TaskStrategy):
                 self.config.eps_tc,
             ):
                 return TaskDecision(Decision.ACCEPT)
-        candidates = self._sample_candidates(quote)
-        if not candidates:
+        best = self._best_escalation(quote)
+        if best is None:
             # Budget exhausted: accept the standing outcome rather than
             # walk away from a profitable (if sub-target) trade.
             return TaskDecision(Decision.ACCEPT)
-        best = min(candidates, key=lambda q: q.cap)
         self._current = best
         return TaskDecision(Decision.CONTINUE, best)

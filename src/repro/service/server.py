@@ -68,7 +68,12 @@ from repro.service.api import (
 )
 from repro.service.manager import SessionManager
 
-__all__ = ["JobService", "create_server", "run_server"]
+__all__ = [
+    "JobService",
+    "create_server",
+    "run_server",
+    "start_eviction_sweeper",
+]
 
 #: Request bodies above this are refused with 413 before any read — an
 #: oversized (or lying) Content-Length must not park a handler thread
@@ -80,6 +85,9 @@ class _MarketplaceServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that treats client hang-ups as routine."""
 
     daemon_threads = True
+    # socketserver's default listen backlog is 5; a connection burst
+    # from a few hundred clients would overflow it into RSTs.
+    request_queue_size = 512
 
     def handle_error(self, request, client_address) -> None:
         import sys
@@ -291,15 +299,49 @@ def create_server(
     return server
 
 
+def start_eviction_sweeper(
+    manager: SessionManager,
+    interval: float | None,
+    *,
+    stop_event: threading.Event | None = None,
+) -> threading.Event:
+    """Periodic ``manager.evict_idle()`` on a daemon timer thread.
+
+    Without this, eviction only piggybacks on ``open_session`` — a quiet
+    server leaks stale sessions (and their engine state) indefinitely.
+    ``interval=None`` derives one from the manager's ``idle_ttl``;
+    ``interval=0`` (or no ``idle_ttl``) disables the sweep.  Returns the
+    stop event; set it to end the sweeper.
+    """
+    stop = stop_event if stop_event is not None else threading.Event()
+    if interval is None:
+        ttl = manager.idle_ttl
+        interval = min(60.0, ttl / 2.0) if ttl else 0.0
+    if not interval:
+        stop.set()
+        return stop
+
+    def sweep() -> None:
+        while not stop.wait(interval):
+            manager.evict_idle()
+
+    threading.Thread(target=sweep, name="evict-sweeper", daemon=True).start()
+    return stop
+
+
 def run_server(
     host: str = "127.0.0.1",
     port: int = 8765,
     *,
     idle_ttl: float | None = 900.0,
     max_sessions: int = 4096,
+    coalesce_window: float | None = None,
     job_store: str | None = None,
     shards: int = 2,
     drain_timeout: float = 30.0,
+    eviction_interval: float | None = None,
+    use_async: bool = False,
+    http_workers: int = 8,
     verbose: bool = False,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``.
@@ -308,15 +350,40 @@ def run_server(
     running jobs drain to the durable store — in-flight chunks flush,
     so ``repro jobs resume`` picks up exactly where the server stopped
     — and the process returns 0.
+
+    ``use_async=True`` serves the identical route table from the
+    asyncio transport (:mod:`repro.service.async_server`) instead of a
+    thread per connection.
     """
     import signal
 
     from repro.jobs import JobStore, default_store_path
 
-    manager = SessionManager(max_sessions=max_sessions, idle_ttl=idle_ttl or None)
+    if use_async:
+        from repro.service.async_server import run_async_server
+
+        return run_async_server(
+            host, port,
+            idle_ttl=idle_ttl,
+            max_sessions=max_sessions,
+            coalesce_window=coalesce_window,
+            job_store=job_store,
+            shards=shards,
+            drain_timeout=drain_timeout,
+            workers=http_workers,
+            eviction_interval=eviction_interval,
+            verbose=verbose,
+        )
+
+    manager = SessionManager(
+        max_sessions=max_sessions,
+        idle_ttl=idle_ttl or None,
+        coalesce_window=coalesce_window,
+    )
     jobs = JobService(JobStore(job_store or default_store_path()), shards=shards)
     server = create_server(host, port, manager=manager, jobs=jobs,
                            verbose=verbose)
+    sweeper_stop = start_eviction_sweeper(manager, eviction_interval)
     bound_host, bound_port = server.server_address[:2]
 
     def _terminate(signum: int, frame: object) -> None:  # pragma: no cover
@@ -335,6 +402,7 @@ def run_server(
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        sweeper_stop.set()
         jobs.drain(timeout=drain_timeout)
         server.server_close()
         print("repro marketplace service drained and stopped")
@@ -361,5 +429,20 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--drain-timeout", type=float, default=30.0,
                         metavar="SECS",
                         help="grace for in-flight job chunks on shutdown")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="serve from an asyncio event loop instead of "
+                             "a thread per connection")
+    parser.add_argument("--coalesce-window", type=float, default=None,
+                        metavar="SECS",
+                        help="micro-batch concurrent /step calls per market "
+                             "for this long before sweeping them together "
+                             "(default: off; try 0.002)")
+    parser.add_argument("--eviction-interval", type=float, default=None,
+                        metavar="SECS",
+                        help="periodic idle-session sweep interval "
+                             "(default: min(60, idle_ttl/2); 0 disables)")
+    parser.add_argument("--http-workers", type=int, default=8, metavar="N",
+                        help="handler threads for the asyncio server "
+                             "(default 8; ignored without --async)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request")

@@ -21,9 +21,28 @@ Determinism contract: every random draw comes from the session's own
 ``spawn(seed, "session", i, "kernel")`` generator, consumed in round
 order — results are therefore independent of how sessions are grouped
 into batches (pinned by ``tests/simulate/test_determinism.py``).
+
+Batch assembly is decoupled from execution so callers other than
+:class:`~repro.simulate.pool.SessionPool` can drive the kernel:
+
+* :func:`assemble_strategic_batch` lifts sessions out of a
+  :class:`~repro.simulate.population.Population` into a
+  :class:`StrategicBatch` of parallel arrays;
+* :func:`concat_strategic_batches` merges batches from *different*
+  populations (different catalogue widths, round caps, or sampling
+  depths) into one heterogeneous batch — catalogues are padded with
+  sentinel columns that can never be afforded, so merged execution is
+  bit-identical to running each batch alone;
+* :func:`simulate_assembled_batch` runs any assembled batch to
+  termination.
+
+:func:`simulate_strategic_batch` (assemble + simulate over one
+population) remains the convenience wrapper the pool uses.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,6 +55,10 @@ __all__ = [
     "STATUS_ACCEPTED",
     "STATUS_FAILED",
     "STATUS_MAX_ROUNDS",
+    "StrategicBatch",
+    "assemble_strategic_batch",
+    "concat_strategic_batches",
+    "simulate_assembled_batch",
     "simulate_strategic_batch",
 ]
 
@@ -48,6 +71,133 @@ BY_TASK = 2
 BY_ENGINE = 3
 
 _COST_NONE, _COST_CONSTANT, _COST_LINEAR, _COST_EXPONENTIAL = 0, 1, 2, 3
+
+#: Catalogue pad value for heterogeneous batches: a padded column's
+#: reserved prices are +inf (never affordable, Case-1/Eq.4 masks skip
+#: it) and its gain is +inf (never the |ΔG − tp| argmin target).
+_PAD = np.inf
+
+
+@dataclass
+class StrategicBatch:
+    """One externally-assembled batch of strategic/strategic sessions.
+
+    Parallel arrays over ``n`` sessions; the catalogue axis ``F`` may
+    mix real columns with ``+inf`` padding (heterogeneous batches).
+    ``generators`` holds each session's own RNG stream — the batch is
+    single-use, exactly like the engines it replaces.
+    """
+
+    gains: np.ndarray          # (n, F) shared/padded catalogues
+    reserved_rate: np.ndarray  # (n, F)
+    reserved_base: np.ndarray  # (n, F)
+    utility_rate: np.ndarray   # (n,)
+    budget: np.ndarray
+    initial_rate: np.ndarray
+    initial_base: np.ndarray
+    target: np.ndarray
+    eps_d: np.ndarray
+    eps_t: np.ndarray
+    eps_dc: np.ndarray
+    eps_tc: np.ndarray
+    cost_kind: np.ndarray      # (n,) int8
+    cost_a: np.ndarray
+    n_price_samples: np.ndarray  # (n,) int
+    max_rounds: np.ndarray       # (n,) int
+    generators: list
+
+    def __post_init__(self) -> None:
+        n = len(self.generators)
+        if self.gains.shape[0] != n:
+            raise ValueError(
+                f"batch carries {self.gains.shape[0]} sessions but "
+                f"{n} generators"
+            )
+
+    def __len__(self) -> int:
+        return len(self.generators)
+
+
+def assemble_strategic_batch(population, indices: np.ndarray) -> StrategicBatch:
+    """Lift ``population``'s sessions at ``indices`` into a batch.
+
+    Every array is copied out at the session granularity, so the batch
+    is self-contained: it can be merged with batches from other
+    populations (:func:`concat_strategic_batches`) or executed on its
+    own (:func:`simulate_assembled_batch`).
+    """
+    indices = np.asarray(indices, dtype=int)
+    n = len(indices)
+    spec = population.spec
+    g = np.ascontiguousarray(
+        np.broadcast_to(population.gains[None, :], (n, len(population.gains)))
+    )
+    return StrategicBatch(
+        gains=g,
+        reserved_rate=population.reserved_rate[indices],
+        reserved_base=population.reserved_base[indices],
+        utility_rate=population.utility_rate[indices],
+        budget=population.budget[indices],
+        initial_rate=population.initial_rate[indices],
+        initial_base=population.initial_base[indices],
+        target=population.target[indices],
+        eps_d=population.eps_d[indices],
+        eps_t=population.eps_t[indices],
+        eps_dc=population.eps_dc[indices],
+        eps_tc=population.eps_tc[indices],
+        cost_kind=population.cost_kind[indices],
+        cost_a=population.cost_a[indices],
+        n_price_samples=np.full(n, int(spec.n_price_samples), dtype=int),
+        max_rounds=np.full(n, int(spec.max_rounds), dtype=int),
+        generators=[
+            spawn(population.seed, "session", int(i), "kernel")
+            for i in indices
+        ],
+    )
+
+
+def concat_strategic_batches(batches) -> StrategicBatch:
+    """Merge assembled batches into one heterogeneous batch.
+
+    Catalogues of different widths are right-padded with ``+inf``
+    sentinel columns (unaffordable, never an Eq.4/Eq.6 pick), so each
+    session's trajectory is bit-identical to running its home batch
+    alone — the determinism contract extends across populations.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("concat_strategic_batches needs at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    width = max(b.gains.shape[1] for b in batches)
+
+    def pad(array: np.ndarray) -> np.ndarray:
+        n, f = array.shape
+        if f == width:
+            return array
+        out = np.full((n, width), _PAD)
+        out[:, :f] = array
+        return out
+
+    return StrategicBatch(
+        gains=np.concatenate([pad(b.gains) for b in batches]),
+        reserved_rate=np.concatenate([pad(b.reserved_rate) for b in batches]),
+        reserved_base=np.concatenate([pad(b.reserved_base) for b in batches]),
+        utility_rate=np.concatenate([b.utility_rate for b in batches]),
+        budget=np.concatenate([b.budget for b in batches]),
+        initial_rate=np.concatenate([b.initial_rate for b in batches]),
+        initial_base=np.concatenate([b.initial_base for b in batches]),
+        target=np.concatenate([b.target for b in batches]),
+        eps_d=np.concatenate([b.eps_d for b in batches]),
+        eps_t=np.concatenate([b.eps_t for b in batches]),
+        eps_dc=np.concatenate([b.eps_dc for b in batches]),
+        eps_tc=np.concatenate([b.eps_tc for b in batches]),
+        cost_kind=np.concatenate([b.cost_kind for b in batches]),
+        cost_a=np.concatenate([b.cost_a for b in batches]),
+        n_price_samples=np.concatenate([b.n_price_samples for b in batches]),
+        max_rounds=np.concatenate([b.max_rounds for b in batches]),
+        generators=[gen for b in batches for gen in b.generators],
+    )
 
 
 def _cost_at(kind: np.ndarray, a: np.ndarray, round_number: int) -> np.ndarray:
@@ -66,36 +216,45 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
     """Run the sessions in ``indices`` (all strategic/strategic) to
     termination and return their terminal records as arrays.
 
+    Convenience wrapper: :func:`assemble_strategic_batch` +
+    :func:`simulate_assembled_batch`.
+    """
+    return simulate_assembled_batch(
+        assemble_strategic_batch(population, np.asarray(indices, dtype=int))
+    )
+
+
+def simulate_assembled_batch(batch: StrategicBatch) -> dict[str, np.ndarray]:
+    """Run an assembled (possibly heterogeneous) batch to termination.
+
     Returned keys: ``status``, ``terminated_by``, ``n_rounds``,
     ``delta_g``, ``payment``, ``net_profit``, ``cost_task``,
     ``cost_data``, ``final_rate``, ``final_base``, ``final_cap`` — the
     same quantities a :class:`~repro.market.engine.BargainOutcome`
-    carries, for the batch.
+    carries, for the batch, in batch order.
     """
-    indices = np.asarray(indices, dtype=int)
-    n = len(indices)
-    spec = population.spec
-    n_samples = spec.n_price_samples
-    max_rounds = spec.max_rounds
-
-    g = population.gains  # (F,) shared catalogue
-    res_rate = population.reserved_rate[indices]  # (n, F)
-    res_base = population.reserved_base[indices]
-    u = population.utility_rate[indices]
-    budget = population.budget[indices]
-    p0 = population.initial_rate[indices]
-    b0 = population.initial_base[indices]
-    target = population.target[indices]
-    eps_d = population.eps_d[indices]
-    eps_t = population.eps_t[indices]
-    eps_dc = population.eps_dc[indices]
-    eps_tc = population.eps_tc[indices]
-    cost_kind = population.cost_kind[indices]
-    cost_a = population.cost_a[indices]
+    n = len(batch)
+    G = batch.gains  # (n, F) per-session catalogues (padded rows allowed)
+    res_rate = batch.reserved_rate
+    res_base = batch.reserved_base
+    u = batch.utility_rate
+    budget = batch.budget
+    p0 = batch.initial_rate
+    b0 = batch.initial_base
+    target = batch.target
+    eps_d = batch.eps_d
+    eps_t = batch.eps_t
+    eps_dc = batch.eps_dc
+    eps_tc = batch.eps_tc
+    cost_kind = batch.cost_kind
+    cost_a = batch.cost_a
+    ns = batch.n_price_samples
+    mr = batch.max_rounds
+    mr_max = int(mr.max())
     has_cost = cost_kind != _COST_NONE
     break_even = b0 / (u - p0)  # Case-4 bar, anchored to the opening quote
 
-    gens = [spawn(population.seed, "session", int(i), "kernel") for i in indices]
+    gens = batch.generators
 
     # Standing quote per session (opens Eq.5-consistent at the target).
     rate = p0.copy()
@@ -116,7 +275,7 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
     out_cap = np.full(n, np.nan)
 
     # Offer trail for the Case-4 regression test (grown on demand).
-    trail_width = min(64, max_rounds)
+    trail_width = min(64, mr_max)
     tr_rate = np.empty((n, trail_width))
     tr_base = np.empty((n, trail_width))
     tr_gain = np.empty((n, trail_width))
@@ -137,7 +296,7 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
         out_cap[rows] = q_cap
 
     live = np.arange(n)
-    for T in range(1, max_rounds + 1):
+    for T in range(1, mr_max + 1):
         if live.size == 0:
             break
         rate_l, base_l, cap_l = rate[live], base[live], cap[live]
@@ -162,9 +321,10 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
 
         # Eq. 4 offer: the affordable gain closest to the turning point
         # from below; if everything overshoots, the smallest overshoot.
-        below = afford & (g[None, :] <= tp[:, None])
-        g_below = np.where(below, g[None, :], -np.inf).max(axis=1)
-        g_over = np.where(afford, g[None, :], np.inf).min(axis=1)
+        G_l = G[live]
+        below = afford & (G_l <= tp[:, None])
+        g_below = np.where(below, G_l, -np.inf).max(axis=1)
+        g_over = np.where(afford, G_l, np.inf).min(axis=1)
         gain = np.where(np.isfinite(g_below), g_below, g_over)
         payment = np.minimum(np.maximum(base_l, base_l + rate_l * gain), cap_l)
         net = u[live] * gain - payment
@@ -172,9 +332,10 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
         accept_d = (tp - gain) <= eps_d[live]  # Case 2
         costly = has_cost[live]
         if costly.any():  # Eq. 6 look-ahead acceptance
-            tgt = np.abs(g[None, :] - tp[:, None]).argmin(axis=1)
-            rrt = res_rate[live, tgt]
-            rbt = res_base[live, tgt]
+            tgt = np.abs(G_l - tp[:, None]).argmin(axis=1)
+            rows_l = np.arange(live.size)
+            rrt = res_rate[live][rows_l, tgt]
+            rbt = res_base[live][rows_l, tgt]
             lhs = base_l + rate_l * gain - cost_r
             nxt = np.maximum(rbt, base_l) + np.maximum(rrt, rate_l) * tp
             rhs = nxt - cost_r1 - eps_dc[live]
@@ -203,7 +364,7 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
         else:
             best_dom = np.full(live.size, -np.inf)
         if k >= trail_width:  # grow the trail (games rarely get here)
-            grow = min(trail_width, max_rounds - trail_width)
+            grow = min(trail_width, mr_max - trail_width)
             pad = np.empty((n, grow))
             tr_rate = np.concatenate([tr_rate, pad], axis=1)
             tr_base = np.concatenate([tr_base, pad], axis=1)
@@ -228,12 +389,19 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
         sample = running & ~exhausted
         rows = np.flatnonzero(sample)
         if rows.size:
-            draws = np.empty((rows.size, 2, n_samples))
+            ns_rows = ns[live[rows]]
+            width = int(ns_rows.max())
+            draws = np.zeros((rows.size, 2, width))
             for ii, row in enumerate(rows):
-                draws[ii] = gens[live[row]].random((2, n_samples))
+                k_row = int(ns_rows[ii])
+                draws[ii, :, :k_row] = gens[live[row]].random((2, k_row))
             cl = cap_l[rows, None]
             caps = cl + (budget[live[rows], None] - cl) * draws[:, 0, :]
             valid = caps > cl + 1e-12
+            # Padded sample columns (heterogeneous n_price_samples)
+            # draw 0.0, land exactly on cl, and fail the > check; the
+            # explicit mask keeps that invariant independent of fp.
+            valid &= np.arange(width)[None, :] < ns_rows[:, None]
             rate_high = np.minimum(
                 u[live[rows], None],
                 (caps - b0[live[rows], None]) / target[live[rows], None],
@@ -267,14 +435,14 @@ def simulate_strategic_batch(population, indices: np.ndarray) -> dict[str, np.nd
                              q_rate=rate_l[mask], q_base=base_l[mask],
                              q_cap=cap_l[mask])
         cont = ~fail_t & ~accept_t
-        if T == max_rounds and cont.any():  # round cap: counted as failed
-            finalise(live[cont], st=STATUS_MAX_ROUNDS, by=BY_ENGINE, T=T,
-                     gain=gain[cont], pay=payment[cont], net=net[cont],
-                     ct=cost_r[cont], cd=cost_r[cont],
-                     q_rate=rate_l[cont], q_base=base_l[cont], q_cap=cap_l[cont])
-            live = live[:0]
-        else:
-            live = live[cont]
+        capped = cont & (mr[live] == T)  # per-session round cap
+        if capped.any():  # round cap: counted as failed
+            finalise(live[capped], st=STATUS_MAX_ROUNDS, by=BY_ENGINE, T=T,
+                     gain=gain[capped], pay=payment[capped], net=net[capped],
+                     ct=cost_r[capped], cd=cost_r[capped],
+                     q_rate=rate_l[capped], q_base=base_l[capped],
+                     q_cap=cap_l[capped])
+        live = live[cont & ~capped]
 
     return {
         "status": status,

@@ -3,7 +3,12 @@
 import json
 import socket
 import threading
-from http.server import BaseHTTPRequestHandler, HTTPServer
+import time
+from http.server import (
+    BaseHTTPRequestHandler,
+    HTTPServer,
+    ThreadingHTTPServer,
+)
 
 import pytest
 
@@ -166,3 +171,134 @@ class TestBaseUrls:
     def test_default_scheme_and_port(self):
         transport = HttpTransport("example.org")
         assert transport.base_url == "http://example.org:80"
+
+
+def _status_server(script):
+    """One-shot HTTP server that answers from a canned (status, headers)
+    script, then 200s; returns ``(server, calls)``."""
+    calls = []
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _serve(self):
+            calls.append(self.command)
+            length = int(self.headers.get("Content-Length") or 0)
+            self.rfile.read(length)
+            status, headers = script.pop(0) if script else (200, {})
+            blob = json.dumps({"ok": status == 200}).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(blob)
+
+        do_GET = do_POST = _serve
+
+        def log_message(self, *args):
+            pass
+
+    # Threading + daemon handlers: shutdown() must not wait on a
+    # client's still-open keep-alive connection.
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    server.daemon_threads = True
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, calls
+
+
+class TestRetryableStatuses:
+    """429 (session cap) and 503 (drain) mean the handler refused the
+    request before touching state — retryable for every method."""
+
+    def _transport(self, server, **kwargs):
+        kwargs.setdefault("retries", 2)
+        kwargs.setdefault("backoff", 0.01)
+        return HttpTransport(
+            "http://127.0.0.1:%d" % server.server_address[1], **kwargs
+        )
+
+    def test_post_429_is_retried_to_success(self):
+        server, calls = _status_server([(429, {})])
+        try:
+            status, payload = self._transport(server).request(
+                "POST", "/v1/sessions", body={"seed": 0}
+            )
+            assert status == 200 and payload["ok"]
+            assert calls == ["POST", "POST"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_503_during_drain_is_retried(self):
+        server, calls = _status_server([(503, {"Retry-After": "0"})])
+        try:
+            status, _ = self._transport(server).request(
+                "POST", "/v1/sessions/s0/step"
+            )
+            assert status == 200
+            assert len(calls) == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_retry_after_hint_is_honoured(self):
+        server, _ = _status_server([(503, {"Retry-After": "0.3"})])
+        try:
+            transport = self._transport(server, backoff=0.001)
+            start = time.monotonic()
+            status, _ = transport.request("GET", "/v1/health")
+            elapsed = time.monotonic() - start
+            assert status == 200
+            assert elapsed >= 0.25, (
+                f"retried after only {elapsed:.3f}s despite Retry-After"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_budget_exhausted_returns_the_last_status(self):
+        server, calls = _status_server([(429, {})] * 5)
+        try:
+            status, payload = self._transport(server).request(
+                "POST", "/v1/sessions", body={}
+            )
+            assert status == 429
+            assert len(calls) == 3  # retries=2 -> 3 attempts, then give up
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_other_statuses_are_not_retried(self):
+        server, calls = _status_server([(404, {})])
+        try:
+            status, _ = self._transport(server).request(
+                "GET", "/v1/nope"
+            )
+            assert status == 404
+            assert calls == ["GET"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_backoff_is_jittered_equal_style(self, monkeypatch):
+        """Each delay lands in [step/2, step] for step = backoff * 2^n:
+        half deterministic, half random, so refused fleets spread out."""
+        import types
+
+        import repro.client.http as http_mod
+
+        recorded = []
+        monkeypatch.setattr(
+            http_mod, "time", types.SimpleNamespace(sleep=recorded.append)
+        )
+        transport = HttpTransport(
+            f"http://127.0.0.1:{_dead_port()}", retries=3, backoff=0.08
+        )
+        with pytest.raises(TransportError):
+            transport.request("GET", "/v1/health")
+        assert len(recorded) == 3
+        for attempt, delay in enumerate(recorded, start=1):
+            step = 0.08 * (2 ** (attempt - 1))
+            assert step / 2 <= delay <= step, (attempt, delay)

@@ -37,6 +37,23 @@ class TestMarketPool:
         with pytest.raises(ValueError, match="no market"):
             pool.lookup("deadbeef")
 
+    def test_adhoc_keys_never_collide(self):
+        """Regression: auto keys were ``adhoc-{name}-{id(market):x}`` —
+        ``id()`` is reused after GC (and identical for the *same*
+        object), so a re-added market silently replaced the first entry
+        under its own key.  Keys must be process-unique."""
+        fresh = MarketPool()
+        market = Market.from_spec(SPEC)
+        first = fresh.add(market)
+        second = fresh.add(market)  # same object, same id(): worst case
+        assert first != second
+        assert fresh.lookup(first) is market
+        assert fresh.lookup(second) is market
+        assert len(fresh) == 2
+        # And across many churned objects, still no duplicates.
+        keys = {fresh.add(Market.from_spec(SPEC)) for _ in range(20)}
+        assert len(keys) == 20
+
     def test_concurrent_get_single_build(self, monkeypatch):
         fresh = MarketPool()
         builds = []
@@ -199,3 +216,54 @@ class TestEviction:
         manager.step(restored)
         now[0] = 2000.0
         assert manager.evict_idle() == [restored]
+
+
+class TestCoalesceConfig:
+    def test_window_must_be_non_negative(self, pool):
+        with pytest.raises(ValueError, match="coalesce_window"):
+            SessionManager(pool=pool, coalesce_window=-0.001)
+
+    def test_batch_limit_must_be_positive(self, pool):
+        with pytest.raises(ValueError, match="batch_limit"):
+            SessionManager(pool=pool, coalesce_window=0.001, batch_limit=0)
+
+    def test_zero_window_means_off(self, pool):
+        manager = SessionManager(pool=pool, coalesce_window=0.0)
+        sid = manager.open_session(SessionSpec(market=SPEC, seed=0))
+        manager.step(sid)
+        batching = manager.report()["batching"]
+        assert batching["window"] is None
+        assert batching["sweeps"] == 0
+
+    def test_until_done_through_the_batcher(self, pool):
+        """`run` (until_done) must coalesce exactly like single steps
+        and finish with the same outcome as the stepwise path."""
+        plain = SessionManager(pool=pool)
+        want = plain.run(
+            plain.open_session(SessionSpec(market=SPEC, seed=0, run=7))
+        )
+        batched = SessionManager(pool=pool, coalesce_window=0.02)
+        sids = [
+            batched.open_session(SessionSpec(market=SPEC, seed=0, run=7))
+            for _ in range(4)
+        ]
+        results = [None] * 4
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait(timeout=10.0)
+            results[i] = batched.run(sids[i])
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        for got in results:
+            assert got is not None
+            assert {k: v for k, v in got.items() if k != "session"} == (
+                {k: v for k, v in want.items() if k != "session"}
+            )
+        assert batched.report()["batching"]["coalesced"] >= 2
