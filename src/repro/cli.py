@@ -90,6 +90,18 @@ def _oracle_cache(args: argparse.Namespace):
     return GainCache(args.cache_dir or default_cache_dir())
 
 
+def _add_secure_options(parser: argparse.ArgumentParser) -> None:
+    """Flags for the §3.6 secure-bargaining settlement path."""
+    parser.add_argument("--secure", action="store_true",
+                        help="settle accepted payments through the batched "
+                             "Paillier path (value-identical to the serial "
+                             "secure protocol; shard-invariant)")
+    parser.add_argument("--key-bits", type=int, default=256, metavar="BITS",
+                        help="Paillier key size for --secure (default 256; "
+                             "the keypair derives deterministically from "
+                             "--seed)")
+
+
 def _add_client_option(parser: argparse.ArgumentParser) -> None:
     """The local-vs-remote switch every client-driven command shares."""
     parser.add_argument("--server", default=None, metavar="URL",
@@ -135,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("perfect", "imperfect"))
     bargain.add_argument("--runs", type=int, default=1)
     bargain.add_argument("--seed", type=int, default=0)
+    _add_secure_options(bargain)
     _add_oracle_options(bargain)
     _add_client_option(bargain)
 
@@ -164,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bargaining-cost mix, e.g. 'none=0.7,linear:0.05=0.3'")
         parser.add_argument("--bins", type=int, default=16,
                             help="histogram bins in the report")
+        _add_secure_options(parser)
 
     simulate = sub.add_parser(
         "simulate", help="run a population of concurrent bargaining sessions"
@@ -258,6 +272,8 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
     from repro.market.pricing import QuotedPrice
     from repro.service import SessionSpec
 
+    if not args.secure and args.key_bits != 256:
+        raise SystemExit("--key-bits only applies with --secure")
     spec = spec_for(
         args.dataset,
         args.model,
@@ -274,6 +290,9 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
             print(market["build_report"])
         print(f"market: {market['name']} | catalogue {market['n_bundles']} "
               f"bundles | target dG* = {market['target_gain']:.4f}")
+        if args.secure:
+            print(f"secure bargaining: Paillier {args.key_bits}-bit "
+                  f"(batched, seed-derived keypair)")
         outcomes = []
         for i in range(args.runs):
             opened = client.open_session(SessionSpec(
@@ -283,6 +302,8 @@ def _cmd_bargain(args: argparse.Namespace) -> int:
                 information=args.information,
                 seed=args.seed,
                 run=i,
+                secure=args.secure,
+                key_bits=args.key_bits,
             ))
             state = client.run_session(opened["session"])
             outcomes.append(state["outcome"])
@@ -392,9 +413,15 @@ def _simulation_spec(args: argparse.Namespace):
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             no_cache=args.no_cache,
+            secure=args.secure,
+            key_bits=args.key_bits,
         )
     except ValueError as exc:  # unknown strategy/cost kind, bad weight, ...
         raise SystemExit(f"invalid population spec: {exc}") from None
+    if not args.secure and args.key_bits != 256:
+        # A dangling key size would be silently recorded in the spec
+        # (changing its digest) without ever being used.
+        raise SystemExit("--key-bits only applies with --secure")
     if not args.dataset:
         # These knobs only affect the pre-bargaining oracle build;
         # silently ignoring them would let users believe they took

@@ -311,14 +311,24 @@ def ablation_market_rows(*, seed: int = 0) -> tuple[list[str], list[list[object]
 def security_overhead_rows(*, seed: int = 0) -> tuple[list[str], list[list[object]]]:
     """Ablation A3: cost of the §3.6 mitigation.
 
-    Times plaintext payment evaluation against Paillier
-    :func:`~repro.security.secure_compare.secure_payment` per round.
+    Times plaintext payment evaluation against the serial Paillier
+    :func:`~repro.security.secure_compare.secure_payment` and against
+    the packed batch path
+    (:func:`~repro.security.batch.secure_payment_batch`, obfuscation
+    pool prebuilt — it is cached per settlement), per session.
     """
     from repro.market.pricing import QuotedPrice
-    from repro.security import encrypted_gain, generate_keypair, secure_payment
+    from repro.security import (
+        ObfuscationPool,
+        encrypted_gain,
+        generate_keypair,
+        secure_payment,
+        secure_payment_batch,
+    )
     from repro.utils.rng import spawn
 
-    headers = ["Key bits", "Plain (ms/round)", "Secure (ms/round)", "Overhead"]
+    headers = ["Key bits", "Plain (ms/round)", "Serial (ms/round)",
+               "Batched (ms/round)", "Speedup"]
     rows = []
     quote = QuotedPrice(rate=10.0, base=1.0, cap=3.0)
     gains = np.linspace(0.0, 0.4, 20)
@@ -329,16 +339,28 @@ def security_overhead_rows(*, seed: int = 0) -> tuple[list[str], list[list[objec
     for bits in (128, 256, 512):
         pub, priv = generate_keypair(bits=bits, rng=spawn(seed, "keys", bits))
         t0 = time.perf_counter()
+        serial = []
         for i, g in enumerate(gains):
             enc = encrypted_gain(float(g), pub, rng=spawn(seed, "enc", bits, i))
-            secure_payment(enc, quote, priv, rng=spawn(seed, "blind", bits, i))
-        secure_ms = (time.perf_counter() - t0) / len(gains) * 1e3
+            serial.append(
+                secure_payment(enc, quote, priv, rng=spawn(seed, "blind", bits, i))
+            )
+        serial_ms = (time.perf_counter() - t0) / len(gains) * 1e3
+        pool = ObfuscationPool(pub, rng=spawn(seed, "pool", bits))
+        t0 = time.perf_counter()
+        batched = secure_payment_batch(
+            [float(g) for g in gains], [quote] * len(gains), pub, priv,
+            rng=spawn(seed, "batch", bits), pool=pool,
+        )
+        batched_ms = (time.perf_counter() - t0) / len(gains) * 1e3
+        assert batched == serial  # value-identity, pinned in the tables too
         rows.append(
             [
                 bits,
                 f"{plain_ms:.4f}",
-                f"{secure_ms:.3f}",
-                f"{secure_ms / max(plain_ms, 1e-9):.0f}x",
+                f"{serial_ms:.3f}",
+                f"{batched_ms:.3f}",
+                f"{serial_ms / max(batched_ms, 1e-9):.1f}x",
             ]
         )
     return headers, rows

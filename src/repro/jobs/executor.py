@@ -136,13 +136,17 @@ def _population_for(spec: SimulationSpec):
 
 def run_simulation_chunk(spec_dict: dict, start: int, stop: int) -> dict:
     """Advance sessions ``[start, stop)`` of the job's population."""
+    from repro.service.simulation import settlement_for
     from repro.simulate.pool import SessionPool
 
     spec = SimulationSpec.from_dict(spec_dict)
     population = _population_for(spec)
-    result = SessionPool(population, batch_size=spec.batch_size).run(
-        indices=np.arange(start, stop)
-    )
+    # Secure shards rebuild the identical (seed, key_bits) keypair from
+    # the spec alone, and settled payments are per-session pure, so the
+    # merge below stays bit-identical to the single-process path.
+    result = SessionPool(
+        population, batch_size=spec.batch_size, settlement=settlement_for(spec)
+    ).run(indices=np.arange(start, stop))
     payload = {"start": int(start), "stop": int(stop)}
     for name in _ARRAY_FIELDS:
         payload[name] = getattr(result, name)[start:stop].tolist()

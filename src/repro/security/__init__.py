@@ -1,6 +1,20 @@
 """Security substrate for the §3.6 analysis: Paillier HE, blinded
-comparison of performance gains, and the leakage attack it mitigates."""
+comparison of performance gains, the batched/packed fast path the
+simulator settles through, and the leakage attack they mitigate."""
 
+from repro.security.batch import (
+    ObfuscationPool,
+    SecureSettlement,
+    SlotLayout,
+    pack_values,
+    secure_payment_batch,
+    secure_payment_serial_reference,
+    secure_threshold_check_batch,
+    secure_threshold_check_serial_reference,
+    settlement_for,
+    slot_layout,
+    unpack_values,
+)
 from repro.security.paillier import (
     EncryptedNumber,
     PaillierPrivateKey,
@@ -23,14 +37,25 @@ from repro.security.threat import (
 __all__ = [
     "BlindedComparison",
     "EncryptedNumber",
+    "ObfuscationPool",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "SecureSettlement",
+    "SlotLayout",
     "attack_advantage",
     "encrypted_gain",
     "generate_keypair",
     "is_probable_prime",
     "marginal_value_attack",
+    "pack_values",
     "rank_correlation",
     "secure_payment",
+    "secure_payment_batch",
+    "secure_payment_serial_reference",
     "secure_threshold_check",
+    "secure_threshold_check_batch",
+    "secure_threshold_check_serial_reference",
+    "settlement_for",
+    "slot_layout",
+    "unpack_values",
 ]

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn
 from repro.utils.validation import require
 
 __all__ = [
@@ -218,18 +219,57 @@ class PaillierPublicKey:
 
 @dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Decryption key ``(λ, μ)`` for a public key."""
+    """Decryption key ``(λ, μ)`` for a public key.
+
+    ``p``/``q`` (the prime factorisation of ``n``) are optional: keys
+    carrying them unlock :meth:`raw_decrypt_crt`, which exponentiates
+    mod ``p²`` and ``q²`` with half-size exponents and recombines via
+    the Chinese Remainder Theorem — the standard ~4x Paillier
+    decryption speedup.  Keys built without the factors (``p == 0``)
+    fall back to the textbook :meth:`raw_decrypt` transparently.
+    """
 
     public_key: PaillierPublicKey
     lam: int
     mu: int
+    p: int = 0
+    q: int = 0
 
     def raw_decrypt(self, ciphertext: int) -> int:
-        """Recover the mantissa of a ciphertext."""
+        """Recover the mantissa of a ciphertext (textbook ``L``/``μ``)."""
         n, n_sq = self.public_key.n, self.public_key.n_squared
         x = pow(ciphertext, self.lam, n_sq)
         l_value = (x - 1) // n
         return (l_value * self.mu) % n
+
+    # -- CRT-accelerated decryption ------------------------------------
+    # cached_property writes straight into __dict__, which a frozen
+    # dataclass permits — the params are derived, not state.
+    @cached_property
+    def _crt_params(self) -> tuple[int, int, int, int, int]:
+        """``(p², q², h_p, h_q, p⁻¹ mod q)`` for :meth:`raw_decrypt_crt`."""
+        p, q = self.p, self.q
+        p_sq, q_sq = p * p, q * q
+        g = self.public_key.n + 1
+        h_p = pow((pow(g, p - 1, p_sq) - 1) // p, -1, p)
+        h_q = pow((pow(g, q - 1, q_sq) - 1) // q, -1, q)
+        return p_sq, q_sq, h_p, h_q, pow(p, -1, q)
+
+    def raw_decrypt_crt(self, ciphertext: int) -> int:
+        """:meth:`raw_decrypt`, ~4x faster via the known factorisation.
+
+        Decrypts mod ``p²`` and ``q²`` (half-size moduli *and*
+        half-size exponents ``p−1``/``q−1``) and CRT-recombines.  For
+        every valid ciphertext the result is pinned equal to
+        :meth:`raw_decrypt` — same mantissa, bit for bit.
+        """
+        if not self.p:
+            return self.raw_decrypt(ciphertext)
+        p, q = self.p, self.q
+        p_sq, q_sq, h_p, h_q, p_inv = self._crt_params
+        m_p = ((pow(ciphertext, p - 1, p_sq) - 1) // p) * h_p % p
+        m_q = ((pow(ciphertext, q - 1, q_sq) - 1) // q) * h_q % q
+        return m_p + p * ((m_q - m_p) * p_inv % q)
 
     def decrypt(self, encrypted: EncryptedNumber) -> float | int:
         """Decrypt and decode (ints round-trip exactly)."""
@@ -242,10 +282,22 @@ class PaillierPrivateKey:
 
 
 def generate_keypair(
-    *, bits: int = 512, rng: object = None
+    *, bits: int = 512, rng: object = None, seed: int | None = None
 ) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
-    """Generate a keypair with two ``bits/2``-bit primes."""
+    """Generate a keypair with two ``bits/2``-bit primes.
+
+    ``seed`` pins the whole generation — prime candidates *and* the
+    Miller-Rabin witness draws — to the named RNG stream
+    ``spawn(seed, "paillier-keygen", bits)``, so every process handed
+    the same ``(seed, bits)`` rebuilds the identical keypair.  That is
+    what lets sharded secure jobs derive their keys from the job spec
+    alone.  ``seed`` and ``rng`` are mutually exclusive.
+    """
     require(bits >= 64, "key size must be >= 64 bits")
+    if seed is not None:
+        require(rng is None, "pass either seed or rng, not both")
+        require(isinstance(seed, int), "seed must be an int")
+        rng = spawn(seed, "paillier-keygen", bits)
     gen = as_generator(rng)
     half = bits // 2
     while True:
@@ -260,4 +312,4 @@ def generate_keypair(
     x = pow(1 + n, lam, n * n)
     l_value = (x - 1) // n
     mu = pow(l_value, -1, n)
-    return public, PaillierPrivateKey(public, lam, mu)
+    return public, PaillierPrivateKey(public, lam, mu, p, q)

@@ -525,7 +525,9 @@ ROUTES: tuple[Route, ...] = (
           "Open a bargaining session from a `SessionSpec`.",
           request={"<SessionSpec>": "the canonical `SessionSpec` dict; "
                                     "`market` is a full `MarketSpec` dict "
-                                    "or a pool digest"},
+                                    "or a pool digest; `secure`/`key_bits` "
+                                    "settle the outcome through the batched "
+                                    "Paillier path"},
           response="The session status: `{session, market, round, done, "
                    "quote}`."),
     Route("GET", "/v1/sessions/{session_id}", _get_session, 200,
@@ -552,7 +554,10 @@ ROUTES: tuple[Route, ...] = (
     Route("POST", "/v1/simulations", _post_simulation, 202,
           "Submit a durable sharded simulation job (idempotent per "
           "content).",
-          request={"<SimulationSpec>": "the canonical `SimulationSpec` dict",
+          request={"<SimulationSpec>": "the canonical `SimulationSpec` dict "
+                                       "(`secure`/`key_bits` switch accepted "
+                                       "sessions to batched Paillier "
+                                       "settlement)",
                    "shards": "worker shards (0 = all cores; default: "
                              "server setting)",
                    "chunks": "progress granularity (default: up to 16)"},

@@ -186,6 +186,8 @@ class _Session:
     #: shipped into this manager must not be reaped while the client
     #: is still reconnecting.
     pending_restore: bool = False
+    #: Memoised secure-settled outcome payload (``spec.secure`` only).
+    secure_outcome: dict | None = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -666,8 +668,42 @@ class SessionManager:
             "quote": _quote_dict(state.quote),
         }
         if state.done and state.outcome is not None:
-            payload["outcome"] = _outcome_dict(state.outcome)
+            payload["outcome"] = self._outcome_payload(session)
         return payload
+
+    def _outcome_payload(self, session: _Session) -> dict:
+        """The wire outcome dict, secure-settled when the spec asks.
+
+        Plain sessions keep the exact seed payload shape byte for
+        byte.  Secure sessions overlay ``payment``/``net_profit`` with
+        the batched Paillier settlement (value-identical to the serial
+        §3.6 protocol) and carry a ``secure: true`` marker.  The engine
+        state itself is never touched, so checkpoints replay and
+        digest-verify exactly as for plain sessions.
+        """
+        outcome = session.state.outcome
+        payload = _outcome_dict(outcome)
+        if not session.spec.secure:
+            return payload
+        if session.secure_outcome is None:
+            secure = dict(payload)
+            secure["secure"] = True
+            if outcome.accepted and outcome.quote is not None:
+                from repro.security.batch import settlement_for
+
+                settlement = settlement_for(
+                    session.spec.seed, session.spec.key_bits
+                )
+                [payment] = settlement.settle(
+                    [float(outcome.delta_g)], [outcome.quote]
+                )
+                secure["payment"] = float(payment)
+                secure["net_profit"] = float(
+                    session.engine.utility_rate * float(outcome.delta_g)
+                    - payment
+                )
+            session.secure_outcome = secure
+        return dict(session.secure_outcome)
 
     def session_ids(self) -> list[str]:
         """Ids of every resident session."""

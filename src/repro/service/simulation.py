@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.service.manager import MarketPool, shared_pool
 from repro.service.specs import MarketSpec, SimulationSpec
 
-__all__ = ["backing_market_spec", "run_simulation"]
+__all__ = ["backing_market_spec", "run_simulation", "settlement_for"]
 
 
 def backing_market_spec(spec: SimulationSpec) -> MarketSpec | None:
@@ -76,6 +76,23 @@ def run_simulation(
     population = sample_population(
         spec.population_spec(), spec.sessions, seed=spec.seed, oracle=oracle
     )
-    result = SessionPool(population, batch_size=spec.batch_size).run()
+    result = SessionPool(
+        population, batch_size=spec.batch_size, settlement=settlement_for(spec)
+    ).run()
     report = build_report(population, result, n_bins=spec.bins)
     return population, result, report
+
+
+def settlement_for(spec: SimulationSpec):
+    """The spec's :class:`~repro.security.batch.SecureSettlement` (or None).
+
+    Keys derive from ``(seed, key_bits)`` alone, so the executor's
+    worker shards (:func:`repro.jobs.executor.run_simulation_chunk`)
+    rebuild the identical keypair from the spec dict — the merged
+    secure report digests match the single-process path.
+    """
+    if not spec.secure:
+        return None
+    from repro.security.batch import settlement_for as _settlement_for
+
+    return _settlement_for(spec.seed, spec.key_bits)

@@ -53,6 +53,23 @@ def _reject_unknown_keys(cls: type, payload: dict) -> None:
     )
 
 
+def _check_secure(secure: object, key_bits: object) -> None:
+    require(isinstance(secure, bool), "secure must be a bool")
+    require(isinstance(key_bits, int) and not isinstance(key_bits, bool),
+            "key_bits must be an int")
+    # 128 is the floor at which the blinded-comparison fixed-point
+    # products stay inside the plaintext space; 4096 bounds keygen cost.
+    require(128 <= key_bits <= 4096, "key_bits must be in [128, 4096]")
+
+
+def _secure_dict(secure: bool, key_bits: int) -> dict:
+    """The ``secure``/``key_bits`` wire keys, omitted at their defaults
+    so pre-secure payloads and spec digests are unchanged."""
+    if not secure and key_bits == 256:
+        return {}
+    return {"secure": secure, "key_bits": key_bits}
+
+
 def _mix_triples(value: object, label: str) -> tuple | None:
     """Normalise a JSON list-of-lists mix back into tuples."""
     if value is None:
@@ -169,6 +186,12 @@ class SessionSpec:
 
     ``cost_task``/``cost_data`` are ``(kind, a)`` pairs over the
     registered cost kinds (§3.4.4's additive bargaining costs).
+
+    ``secure`` settles an accepted outcome through the §3.6 Paillier
+    path (:mod:`repro.security.batch`): the reported payment is the
+    fixed-point secure payment, value-identical to the serial secure
+    protocol, with the ``key_bits`` keypair derived deterministically
+    from ``seed`` so any process can rebuild it from the spec.
     """
 
     market: MarketSpec | str
@@ -180,6 +203,8 @@ class SessionSpec:
     cost_task: tuple[str, float] | None = None
     cost_data: tuple[str, float] | None = None
     config_overrides: dict | None = None
+    secure: bool = False
+    key_bits: int = 256
 
     def __post_init__(self) -> None:
         if isinstance(self.cost_task, list):
@@ -212,6 +237,7 @@ class SessionSpec:
             entry = registry.COSTS.get(kind)  # raises on unknown kinds
             entry.validate(float(a))
         _check_plain_dict(self.config_overrides, "config_overrides")
+        _check_secure(self.secure, self.key_bits)
 
     # ------------------------------------------------------------------
     def engine_seed(self) -> object:
@@ -251,6 +277,9 @@ class SessionSpec:
             "config_overrides": (
                 dict(self.config_overrides) if self.config_overrides else None
             ),
+            # Emitted only off-default: plain specs keep their seed wire
+            # shape and digest, so pre-secure job records stay addressable.
+            **_secure_dict(self.secure, self.key_bits),
         }
 
     @classmethod
@@ -290,6 +319,12 @@ class SimulationSpec:
     jobs: int = 1
     cache_dir: str | None = None
     no_cache: bool = False
+    #: Settle accepted sessions through the batched §3.6 Paillier path
+    #: (payments become the fixed-point secure payments).  Shards
+    #: rebuild the ``key_bits`` keypair deterministically from ``seed``,
+    #: so sharded secure jobs stay digest-equal to the single process.
+    secure: bool = False
+    key_bits: int = 256
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -318,6 +353,7 @@ class SimulationSpec:
         require(isinstance(self.seed, int), "seed must be an int")
         require(isinstance(self.jobs, int) and self.jobs >= 0,
                 "jobs must be an int >= 0")
+        _check_secure(self.secure, self.key_bits)
         # The population spec re-validates mixes against the strategy
         # and cost registries; constructing it here surfaces bad mixes
         # at spec time rather than mid-run.
@@ -374,6 +410,7 @@ class SimulationSpec:
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "no_cache": self.no_cache,
+            **_secure_dict(self.secure, self.key_bits),
         }
 
     @classmethod

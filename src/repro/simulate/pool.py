@@ -130,12 +130,26 @@ class SessionPool:
     batch_size:
         Execution granularity.  Outcomes are invariant to this; it only
         trades peak memory against vectorisation width.
+    settlement:
+        Optional :class:`~repro.security.batch.SecureSettlement`:
+        accepted sessions re-settle their payments through the batched
+        §3.6 Paillier path after termination.  Settled payments depend
+        only on each session's ``(ΔG, quote)`` — never on the batch,
+        shard, or pack grouping — so the invariance guarantees below
+        carry over unchanged.
     """
 
-    def __init__(self, population: Population, *, batch_size: int = 1024):
+    def __init__(
+        self,
+        population: Population,
+        *,
+        batch_size: int = 1024,
+        settlement=None,
+    ):
         require(batch_size >= 1, "batch_size must be >= 1")
         self.population = population
         self.batch_size = int(batch_size)
+        self.settlement = settlement
 
     # ------------------------------------------------------------------
     def run(self, *, indices: np.ndarray | None = None) -> PoolResult:
@@ -171,6 +185,9 @@ class SessionPool:
         oracle = MemoisedOracle(pop.oracle)
         for batch in _chunks(stepped_idx, self.batch_size):
             self._run_stepwise(batch, oracle, arrays)
+
+        if self.settlement is not None:
+            self._settle_secure(arrays)
 
         elapsed = time.perf_counter() - t0
         return PoolResult(
@@ -210,6 +227,34 @@ class SessionPool:
                     del states[i]
                 else:
                     states[i] = state
+
+    def _settle_secure(self, arrays: dict[str, np.ndarray]) -> None:
+        """Re-settle accepted sessions through the batched secure path.
+
+        Only rows this run actually terminated as accepted are touched
+        (non-member rows keep their fill), and each payment is a pure
+        function of that session's ``(ΔG, quote)`` — the secure twin of
+        the kernel's clamp — so shard merges stay bit-identical.
+        """
+        from repro.market.pricing import QuotedPrice
+
+        idx = np.flatnonzero(arrays["status"] == STATUS_ACCEPTED)
+        if idx.size == 0:
+            return
+        gains = [float(arrays["delta_g"][i]) for i in idx]
+        quotes = [
+            QuotedPrice(
+                rate=float(arrays["final_rate"][i]),
+                base=float(arrays["final_base"][i]),
+                cap=float(arrays["final_cap"][i]),
+            )
+            for i in idx
+        ]
+        payments = self.settlement.settle(gains, quotes)
+        utility = self.population.utility_rate
+        for i, gain, payment in zip(idx, gains, payments):
+            arrays["payment"][i] = payment
+            arrays["net_profit"][i] = float(utility[i]) * gain - payment
 
     @staticmethod
     def _record(arrays: dict[str, np.ndarray], i: int, outcome: BargainOutcome) -> None:

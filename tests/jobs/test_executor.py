@@ -39,6 +39,23 @@ MIXED = SimulationSpec(
 )
 
 
+# The same population settled through the batched Paillier path.
+# Every shard rebuilds the seed-derived keypair, and the packed
+# settlement is value-identical regardless of how accepted sessions
+# are grouped into chunks — so the merged digest must not move.
+SECURE = SimulationSpec(
+    sessions=80,
+    seed=3,
+    batch_size=32,
+    strategy_mix=(
+        ("strategic", "strategic", 0.6),
+        ("increase_price", "strategic", 0.4),
+    ),
+    secure=True,
+    key_bits=128,
+)
+
+
 @pytest.fixture
 def store(tmp_path):
     return JobStore(str(tmp_path / "jobs.sqlite3"))
@@ -47,6 +64,12 @@ def store(tmp_path):
 @pytest.fixture(scope="module")
 def reference_digest():
     _, _, report = run_simulation(MIXED)
+    return report.digest()
+
+
+@pytest.fixture(scope="module")
+def secure_reference_digest():
+    _, _, report = run_simulation(SECURE)
     return report.digest()
 
 
@@ -62,6 +85,24 @@ class TestShardedBitIdentity:
         assert done.digest == reference_digest
         # Oracle accounting merged exactly, not just the digest field.
         assert done.report["oracle_queries"] >= done.report["oracle_hits"] >= 0
+
+    @pytest.mark.parametrize("shards,chunks", [(1, 1), (3, 5)])
+    def test_secure_merged_digest_equals_single_process(
+        self, store, secure_reference_digest, shards, chunks
+    ):
+        executor = ShardedExecutor(store, shards=shards)
+        record = executor.submit(SECURE, chunks=chunks)
+        done = executor.run(record.job_id)
+        assert done.finished
+        assert done.digest == secure_reference_digest
+
+    def test_secure_digest_differs_from_plain(self, secure_reference_digest):
+        """Quantisation is visible: secure settlement rounds payments
+        to the fixed-point grid, so the report is not the plain one."""
+        from dataclasses import replace
+
+        _, _, plain = run_simulation(replace(SECURE, secure=False))
+        assert plain.digest() != secure_reference_digest
 
     def test_rerun_of_finished_job_is_a_noop(self, store, reference_digest):
         executor = ShardedExecutor(store, shards=2)

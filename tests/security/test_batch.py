@@ -1,0 +1,159 @@
+"""The packed secure-bargaining path: value identity and determinism.
+
+The acceptance contract of :mod:`repro.security.batch`: batched
+payments and comparison bits are **value-identical** to the retained
+seed serial path for every input, independent of key size, pack
+grouping, and blind draws — which is what lets the simulator and the
+sharded executor settle secure sessions without digest drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.market.pricing import QuotedPrice
+from repro.security import (
+    ObfuscationPool,
+    SecureSettlement,
+    generate_keypair,
+    secure_payment_batch,
+    secure_payment_serial_reference,
+    secure_threshold_check_batch,
+    secure_threshold_check_serial_reference,
+    settlement_for,
+)
+from repro.utils.rng import spawn
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=256, seed=99)
+
+
+def _round(seed, n):
+    rng = spawn(seed, "round")
+    gains = [float(g) for g in rng.uniform(-0.9, 5.0, n)]
+    quotes = [
+        QuotedPrice(
+            rate=float(rng.uniform(0.5, 80.0)),
+            base=float(rng.uniform(0.0, 20.0)),
+            cap=float(rng.uniform(20.0, 300.0)),
+        )
+        for _ in range(n)
+    ]
+    return gains, quotes
+
+
+class TestValueIdentity:
+    @pytest.mark.parametrize("n", [1, 2, 7, 40])
+    def test_payments_bit_for_bit_equal_serial(self, keys, n):
+        pub, priv = keys
+        gains, quotes = _round(n, n)
+        serial = secure_payment_serial_reference(
+            gains, quotes, pub, priv, rng=spawn(0, "serial", n))
+        batched = secure_payment_batch(
+            gains, quotes, pub, priv, rng=spawn(0, "batched", n))
+        assert batched == serial  # exact float equality, not approx
+
+    def test_threshold_bits_equal_serial(self, keys):
+        pub, priv = keys
+        gains, _ = _round(5, 30)
+        thresholds = [float(t) for t in spawn(6, "t").uniform(-0.9, 5.0, 30)]
+        serial = secure_threshold_check_serial_reference(
+            gains, thresholds, pub, priv, rng=spawn(7, "s"))
+        batched = secure_threshold_check_batch(
+            gains, thresholds, pub, priv, rng=spawn(8, "b"))
+        assert [c.result for c in batched] == [c.result for c in serial]
+        # Blinds differ between the paths, but every blinded value must
+        # agree with its bit in sign.
+        for check in batched:
+            assert (check.blinded_value >= 0.0) == check.result
+
+    def test_payment_regions_cap_floor_linear(self, keys):
+        """The adaptive short-circuit hits all three serial branches."""
+        pub, priv = keys
+        quote = QuotedPrice(rate=10.0, base=1.0, cap=3.0)  # turning point 0.2
+        gains = [-0.5, 0.0, 0.1, 0.19, 0.2, 0.3, 5.0]
+        quotes = [quote] * len(gains)
+        serial = secure_payment_serial_reference(
+            gains, quotes, pub, priv, rng=spawn(1, "s"))
+        batched = secure_payment_batch(
+            gains, quotes, pub, priv, rng=spawn(2, "b"))
+        assert batched == serial
+        assert batched[0] == quote.base and batched[-1] == quote.cap
+
+    def test_identity_across_key_sizes(self):
+        """Slot values are exact integers: results never depend on n."""
+        gains, quotes = _round(3, 13)
+        results = []
+        for bits in (128, 256, 512):
+            pub, priv = generate_keypair(bits=bits, seed=5)
+            results.append(secure_payment_batch(
+                gains, quotes, pub, priv, rng=spawn(4, "r", bits)))
+        assert results[0] == results[1] == results[2]
+
+    def test_identity_across_pack_grouping(self, keys):
+        """One big batch == many small batches (shard invariance)."""
+        pub, priv = keys
+        gains, quotes = _round(9, 23)
+        whole = secure_payment_batch(
+            gains, quotes, pub, priv, rng=spawn(10, "whole"))
+        pieces = []
+        for start in range(0, 23, 5):
+            pieces.extend(secure_payment_batch(
+                gains[start:start + 5], quotes[start:start + 5],
+                pub, priv, rng=spawn(11, "piece", start)))
+        assert pieces == whole
+
+    def test_gain_contract_enforced(self, keys):
+        pub, priv = keys
+        with pytest.raises(ValueError, match="plausible range"):
+            secure_payment_batch(
+                [11.0], [QuotedPrice(rate=1.0, base=0.0, cap=5.0)],
+                pub, priv, rng=spawn(0, "x"))
+
+
+class TestObfuscationPool:
+    def test_pooled_encryption_decrypts_correctly(self, keys):
+        pub, priv = keys
+        pool = ObfuscationPool(pub, size=4, rng=spawn(0, "pool"))
+        for value in (0, 1, 123456789, pub.n - 1):
+            assert priv.raw_decrypt(pool.raw_encrypt(value)) == value % pub.n
+        assert pool.draws == 4
+
+    def test_draws_are_randomised(self, keys):
+        pub, _ = keys
+        pool = ObfuscationPool(pub, size=8, rng=spawn(1, "pool"))
+        draws = {pool.draw() for _ in range(20)}
+        assert len(draws) > 1  # not a constant randomiser
+
+
+class TestSecureSettlement:
+    def test_rebuilds_identical_keys_from_seed(self):
+        a = SecureSettlement(seed=42, key_bits=256)
+        b = SecureSettlement(seed=42, key_bits=256)
+        assert a.public_key.n == b.public_key.n
+        assert (a.private_key.p, a.private_key.q) == \
+               (b.private_key.p, b.private_key.q)
+        gains, quotes = _round(12, 9)
+        assert a.settle(gains, quotes) == b.settle(gains, quotes)
+
+    def test_distinct_seeds_distinct_keys(self):
+        a = SecureSettlement(seed=1, key_bits=256)
+        b = SecureSettlement(seed=2, key_bits=256)
+        assert a.public_key.n != b.public_key.n
+
+    def test_settle_matches_serial_reference(self):
+        settlement = SecureSettlement(seed=3, key_bits=256)
+        gains, quotes = _round(13, 17)
+        serial = secure_payment_serial_reference(
+            gains, quotes, settlement.public_key, settlement.private_key,
+            rng=spawn(14, "serial"))
+        assert settlement.settle(gains, quotes) == serial
+
+    def test_settlement_for_memoises_per_process(self):
+        a = settlement_for(77, 256)
+        assert settlement_for(77, 256) is a
+        assert settlement_for(78, 256) is not a
+
+    def test_empty_round(self):
+        assert SecureSettlement(seed=0, key_bits=256).settle([], []) == []

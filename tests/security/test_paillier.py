@@ -43,6 +43,48 @@ class TestKeygen:
         b, _ = generate_keypair(bits=128, rng=5)
         assert a.n == b.n
 
+    def test_seeded_keygen_reproducible(self):
+        """``seed=`` pins the full keypair, factors included."""
+        pub_a, priv_a = generate_keypair(bits=128, seed=21)
+        pub_b, priv_b = generate_keypair(bits=128, seed=21)
+        assert pub_a.n == pub_b.n
+        assert (priv_a.lam, priv_a.mu, priv_a.p, priv_a.q) == \
+               (priv_b.lam, priv_b.mu, priv_b.p, priv_b.q)
+        assert priv_a.p * priv_a.q == pub_a.n
+        other, _ = generate_keypair(bits=128, seed=22)
+        assert other.n != pub_a.n
+
+    def test_seeded_keygen_reproducible_across_processes(self):
+        """Regression: sharded secure jobs rebuild identical keys.
+
+        The seeded stream must not depend on process state (hash
+        randomisation, import order), so a fresh interpreter must
+        derive the same primes.
+        """
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            f"import sys; sys.path.insert(0, {src!r});"
+            "from repro.security import generate_keypair;"
+            "pub, priv = generate_keypair(bits=128, seed=21);"
+            "print(pub.n, priv.p, priv.q)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        ).stdout.split()
+        pub, priv = generate_keypair(bits=128, seed=21)
+        assert [int(x) for x in out] == [pub.n, priv.p, priv.q]
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            generate_keypair(bits=128, rng=1, seed=2)
+
 
 class TestEncryption:
     def test_int_roundtrip(self, keypair):

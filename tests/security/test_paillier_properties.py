@@ -1,0 +1,152 @@
+"""Hypothesis property tests for the Paillier layer and slot packing.
+
+Pins the algebra the secure-bargaining stack leans on: fixed-point
+encode/decode round-trips, the homomorphisms (ciphertext add ==
+plaintext add, ciphertext-scalar mul == plaintext mul), exponent
+alignment in ``_align``, CRT decryption pinned to textbook decryption,
+and slot pack/unpack isolation at extreme magnitudes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.batch import SlotLayout, pack_values, slot_layout, unpack_values
+from repro.security.paillier import FLOAT_SCALE, _align, generate_keypair
+
+# One keypair for the module: 128-bit keys keep every Hypothesis
+# example fast while the plaintext space (|m| <= n/2 ~ 2^126) still
+# dwarfs the magnitudes under test.
+PUB, PRIV = generate_keypair(bits=128, seed=1234)
+
+ints = st.integers(min_value=-(2**60), max_value=2**60)
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+small_ints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestEncodeDecode:
+    @given(value=ints)
+    @settings(deadline=None)
+    def test_int_round_trip(self, value):
+        mantissa, exponent = PUB.encode(value)
+        assert exponent == 0
+        assert PUB.decode(mantissa, exponent) == value
+
+    @given(value=floats)
+    @settings(deadline=None)
+    def test_float_round_trip_is_fixed_point_quantisation(self, value):
+        mantissa, exponent = PUB.encode(value)
+        assert exponent == 1
+        quantised = int(round(value * FLOAT_SCALE))
+        assert PUB.decode(mantissa, exponent) == quantised / float(FLOAT_SCALE)
+
+    @given(value=ints)
+    @settings(deadline=None)
+    def test_encrypt_decrypt_round_trip(self, value):
+        assert PRIV.decrypt(PUB.encrypt(value, rng=_rng())) == value
+
+
+class TestHomomorphisms:
+    @given(a=ints, b=ints)
+    @settings(deadline=None)
+    def test_ciphertext_add_is_plaintext_add(self, a, b):
+        enc = PUB.encrypt(a, rng=_rng()) + PUB.encrypt(b, rng=_rng())
+        assert PRIV.decrypt(enc) == a + b
+
+    @given(a=small_ints, k=st.integers(min_value=-(2**20), max_value=2**20))
+    @settings(deadline=None)
+    def test_scalar_mul_is_plaintext_mul(self, a, k):
+        assert PRIV.decrypt(PUB.encrypt(a, rng=_rng()) * k) == a * k
+
+    @given(a=ints, b=ints)
+    @settings(deadline=None)
+    def test_plaintext_add_matches_ciphertext_add(self, a, b):
+        enc = PUB.encrypt(a, rng=_rng()) + b
+        assert PRIV.decrypt(enc) == a + b
+
+
+class TestAlignment:
+    @given(a=small_ints, b=st.floats(min_value=-1e4, max_value=1e4,
+                                     allow_nan=False, allow_infinity=False))
+    @settings(deadline=None)
+    def test_align_brings_exponents_together(self, a, b):
+        enc_a = PUB.encrypt(a, rng=_rng())        # exponent 0
+        enc_b = PUB.encrypt(float(b), rng=_rng())  # exponent 1
+        left, right = _align(enc_a, enc_b)
+        assert left.exponent == right.exponent == 1
+        # Alignment preserves value: the sum decodes to a + quantised(b).
+        m_b = int(round(float(b) * FLOAT_SCALE))
+        expected = (a * FLOAT_SCALE + m_b) / float(FLOAT_SCALE)
+        assert PRIV.decrypt(enc_a + enc_b) == expected
+
+    @given(a=small_ints, b=small_ints)
+    @settings(deadline=None)
+    def test_align_same_exponent_is_identity(self, a, b):
+        enc_a, enc_b = PUB.encrypt(a, rng=_rng()), PUB.encrypt(b, rng=_rng())
+        left, right = _align(enc_a, enc_b)
+        assert left is enc_a and right is enc_b
+
+
+class TestCrtDecryption:
+    @given(value=ints)
+    @settings(deadline=None)
+    def test_crt_pinned_to_raw_decrypt(self, value):
+        cipher = PUB.encrypt(value, rng=_rng()).ciphertext
+        assert PRIV.raw_decrypt_crt(cipher) == PRIV.raw_decrypt(cipher)
+
+    def test_keys_without_factors_fall_back(self):
+        from repro.security.paillier import PaillierPrivateKey
+
+        legacy = PaillierPrivateKey(PUB, PRIV.lam, PRIV.mu)  # p == q == 0
+        cipher = PUB.encrypt(424242, rng=_rng()).ciphertext
+        assert legacy.raw_decrypt_crt(cipher) == PRIV.raw_decrypt(cipher)
+
+
+# Slot values anywhere in the signed range of a 64-bit-wide slot,
+# including the extreme magnitudes +/-(2^63 - 1).
+slot_values = st.lists(
+    st.integers(min_value=-(2**63) + 1, max_value=2**63 - 1),
+    min_size=0, max_size=16,
+) | st.lists(
+    st.sampled_from([-(2**63) + 1, 2**63 - 1, 0, 1, -1]),
+    min_size=1, max_size=16,
+)
+
+
+class TestSlotPacking:
+    @given(values=slot_values)
+    @settings(deadline=None)
+    def test_pack_unpack_round_trip_no_bleed(self, values):
+        layout = SlotLayout(width=64, slots=16)
+        packed = pack_values(values, layout)
+        assert unpack_values(packed, len(values), layout) == values
+
+    @given(values=slot_values, flip=st.integers(min_value=0, max_value=15))
+    @settings(deadline=None)
+    def test_slot_isolation_under_perturbation(self, values, flip):
+        """Changing one slot never changes its neighbours."""
+        if not values:
+            return
+        layout = SlotLayout(width=64, slots=16)
+        flip = flip % len(values)
+        perturbed = list(values)
+        perturbed[flip] = -perturbed[flip] if perturbed[flip] else 1
+        before = unpack_values(pack_values(values, layout), len(values), layout)
+        after = unpack_values(pack_values(perturbed, layout), len(values), layout)
+        for j, (x, y) in enumerate(zip(before, after)):
+            if j != flip:
+                assert x == y
+
+    @given(max_abs=st.integers(min_value=0, max_value=2**100))
+    @settings(deadline=None)
+    def test_layout_bounds(self, max_abs):
+        layout = slot_layout(PUB, max_abs)
+        assert layout.offset > max_abs          # signed range covers the bound
+        assert layout.slots >= 1
+        # The packed total always stays below the signed-decode boundary.
+        assert layout.slots * layout.width <= PUB.n.bit_length() - 2

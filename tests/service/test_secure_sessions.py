@@ -1,0 +1,103 @@
+"""Secure sessions over the service layer.
+
+``SessionSpec(secure=True)`` settles accepted outcomes through the
+batched Paillier path at the *payload* layer: the engine (and hence
+every checkpoint digest) is untouched, plain payloads stay byte-
+identical to the seed, and the secure payment is pinned to the serial
+§3.6 protocol.
+"""
+
+import pytest
+
+from repro.market.pricing import QuotedPrice
+from repro.security import secure_payment_serial_reference, settlement_for
+from repro.service import MarketPool, MarketSpec, SessionManager, SessionSpec
+
+MARKET = MarketSpec(dataset="synthetic", seed=0)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return MarketPool()
+
+
+@pytest.fixture
+def manager(pool):
+    return SessionManager(pool=pool)
+
+
+def _run_to_outcome(manager, spec):
+    session_id = manager.open_session(spec)
+    summary = manager.run(session_id)
+    return session_id, summary["outcome"]
+
+
+def _accepted_spec(manager, *, secure: bool):
+    """A (seed, run) whose session terminates accepted."""
+    for run in range(20):
+        spec = SessionSpec(market=MARKET, seed=0, run=run, secure=secure)
+        session_id, outcome = _run_to_outcome(manager, spec)
+        manager.close(session_id)
+        if outcome["accepted"]:
+            return spec
+    raise AssertionError("no accepted session in 20 runs")
+
+
+class TestSecureOutcomePayload:
+    def test_plain_payload_has_no_secure_key(self, manager):
+        spec = _accepted_spec(manager, secure=False)
+        _, outcome = _run_to_outcome(manager, spec)
+        assert "secure" not in outcome
+
+    def test_secure_payment_pinned_to_serial_protocol(self, manager):
+        plain_spec = _accepted_spec(manager, secure=False)
+        _, plain = _run_to_outcome(manager, plain_spec)
+        from dataclasses import replace
+
+        _, secure = _run_to_outcome(manager, replace(plain_spec, secure=True))
+        assert secure["secure"] is True
+        # Same game: identical bargaining trajectory, ΔG, and quote.
+        assert secure["delta_g"] == plain["delta_g"]
+        assert secure["quote"] == plain["quote"]
+        assert secure["n_rounds"] == plain["n_rounds"]
+        # The payment is the fixed-point secure settlement — value-
+        # identical to the serial reference protocol on this session.
+        settlement = settlement_for(plain_spec.seed, 256)
+        [expected] = secure_payment_serial_reference(
+            [plain["delta_g"]], [QuotedPrice.from_dict(plain["quote"])],
+            settlement.public_key, settlement.private_key, rng=0,
+        )
+        assert secure["payment"] == expected
+        # Quantisation aside, secure and plain payments agree closely.
+        assert secure["payment"] == pytest.approx(plain["payment"], abs=1e-6)
+
+    def test_secure_payload_memoised_and_stable(self, manager):
+        spec = _accepted_spec(manager, secure=True)
+        session_id, first = _run_to_outcome(manager, spec)
+        again = manager.status(session_id)["outcome"]
+        assert again == first
+
+    def test_failed_secure_session_marked_but_unsettled(self, manager):
+        # run=None with a seed that fails is not guaranteed; scan for one.
+        for run in range(30):
+            spec = SessionSpec(market=MARKET, seed=0, run=run, secure=True)
+            session_id, outcome = _run_to_outcome(manager, spec)
+            manager.close(session_id)
+            if not outcome["accepted"]:
+                assert outcome["secure"] is True
+                assert outcome["payment"] == 0.0
+                return
+        pytest.skip("every scanned session accepted")
+
+
+class TestSecureCheckpoints:
+    def test_checkpoint_restore_round_trip(self, manager):
+        """Secure settlement lives outside the engine: checkpoints of
+        secure sessions replay and digest-verify unchanged, and the
+        restored session re-settles to the same secure payment."""
+        spec = _accepted_spec(manager, secure=True)
+        session_id, outcome = _run_to_outcome(manager, spec)
+        payload = manager.checkpoint(session_id)
+        restored_id = manager.restore(payload, session_id="restored-secure")
+        restored = manager.status(restored_id)["outcome"]
+        assert restored == outcome

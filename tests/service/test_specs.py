@@ -85,6 +85,23 @@ class TestSessionSpec:
         spec = SessionSpec(market="891c9d326d35fc2e", seed=0)
         assert SessionSpec.from_dict(spec.to_dict()) == spec
 
+    def test_secure_keys_emitted_only_off_default(self):
+        # Plain specs keep their pre-secure wire shape and digest.
+        plain = SessionSpec(market="x", seed=0)
+        assert "secure" not in plain.to_dict()
+        assert "key_bits" not in plain.to_dict()
+        secure = SessionSpec(market="x", seed=0, secure=True, key_bits=512)
+        payload = secure.to_dict()
+        assert payload["secure"] is True and payload["key_bits"] == 512
+        assert SessionSpec.from_dict(payload) == secure
+        assert secure.digest() != plain.digest()
+
+    def test_secure_validation(self):
+        with pytest.raises(ValueError, match="key_bits"):
+            SessionSpec(market="x", secure=True, key_bits=64)
+        with pytest.raises(ValueError, match="secure must be a bool"):
+            SessionSpec(market="x", secure=1)
+
     def test_engine_seed_matches_bargain_many_derivation(self):
         from repro.utils.rng import spawn
 
