@@ -1,0 +1,62 @@
+"""``repro lint`` — determinism + concurrency static analysis.
+
+Every subsystem in this repository stakes its correctness on two
+contracts that unit tests can only check *after* a violation has
+corrupted a digest:
+
+* **determinism** — merged shard reports, wire replies and secure
+  settlements must be bit-identical to their serial references; and
+* **thread safety** — the session broker, the market pool, the asyncio
+  transport and the secure-settlement pool all share mutable state
+  across threads and the event loop.
+
+This package turns both contracts into machine-checked lint rules over
+the AST, exposed as ``python -m repro lint``.  Rules register through
+the same decorator pattern as the service registries
+(:mod:`repro.service.registry`); findings render deterministically
+(sorted, timestamp-free) as text or JSON; deliberate exceptions are
+suppressed inline with ``# lint: allow[RULE] <reason>`` pragmas or via
+a committed baseline file.  See ``docs/LINTING.md`` for every rule's
+rationale and a guide to adding new ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    RULES,
+    lint_source,
+    register_rule,
+    rule_ids,
+)
+from repro.analysis.driver import (
+    Baseline,
+    LintResult,
+    lint_paths,
+    main,
+    render_json,
+    render_text,
+)
+
+# Importing the rule modules registers their rules as a side effect —
+# exactly how the service registries pick up their built-ins.
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import concurrency as _concurrency  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "LintRule",
+    "ModuleContext",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

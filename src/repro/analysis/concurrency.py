@@ -1,0 +1,492 @@
+"""Concurrency rules: the thread-safety contract, machine-checked.
+
+The session broker, the market pool, the HTTP transport, the secure
+settlement pool and the asyncio server all share mutable state across
+threads (and, in the async server, across the event loop and a worker
+pool).  Two properties keep that safe today, by convention:
+
+* lock acquisition nests in one global order (no cycles), and
+* state touched from both the event loop and pool threads is either
+  loop-confined or lock-protected.
+
+These rules lift both conventions out of reviewers' heads: ``CON001``
+builds a static lock-acquisition graph from ``with <lock>:`` patterns
+and reports any cycle; ``CON002`` flags attributes written both inside
+``async def`` bodies (event-loop context) and plain methods (thread
+context) with no lock in scope at one of the write sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, register_rule
+
+__all__ = ["LOCK_FACTORIES", "build_lock_graph"]
+
+#: Constructors whose result is a lock-like object; an attribute or
+#: module global assigned from one of these is tracked as a lock even
+#: if its name never says so.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock", "asyncio.Lock",
+})
+
+
+def _lockish_attr(name: str) -> bool:
+    return "lock" in name.lower()
+
+
+def _module_lock_names(ctx: ModuleContext) -> frozenset[str]:
+    """Module-level names bound to a lock factory call."""
+    names: set[str] = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.call_name(node.value) in LOCK_FACTORIES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return frozenset(names)
+
+
+def _class_lock_attrs(cls: ast.ClassDef, ctx: ModuleContext) -> frozenset[str]:
+    """Attributes of ``cls`` known to hold locks.
+
+    Detected from ``self.x = threading.Lock()`` assignments, dataclass
+    fields annotated with a Lock type, and ``field(default_factory=
+    threading.Lock)`` defaults.
+    """
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if ctx.call_name(node.value) in LOCK_FACTORIES:
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+    for item in cls.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            annotation = ast.unparse(item.annotation)
+            if "Lock" in annotation or "Condition" in annotation:
+                attrs.add(item.target.id)
+    return frozenset(attrs)
+
+
+@dataclass
+class _ClassLocks:
+    """Lock-relevant facts about one class (or the module pseudo-class)."""
+
+    name: str
+    node: ast.ClassDef | ast.Module
+    lock_attrs: frozenset[str]
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    #: lock id -> first acquisition site (for messages)
+    sites: dict[str, int] = field(default_factory=dict)
+    #: directed edges: (held, acquired) -> line of the inner acquisition
+    edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: method name -> locks it acquires directly
+    direct: dict[str, set[str]] = field(default_factory=dict)
+    #: method name -> [(held locks at call site, callee name, line)]
+    calls: list[tuple[str, tuple[str, ...], str, int]] = field(
+        default_factory=list
+    )
+
+
+def _lock_id(
+    expr: ast.AST, owner: _ClassLocks, module_locks: frozenset[str],
+    ctx: ModuleContext,
+) -> str | None:
+    """Resolve a ``with`` context expression to a stable lock id.
+
+    ``self.<attr>`` resolves to ``Class.<attr>``; a module global
+    assigned from a lock factory resolves to ``<module>.<name>``; a
+    lock-named attribute of any other object resolves to the wildcard
+    owner ``*.<attr>`` — conservatively conflating same-named locks of
+    different owners, which can over-approximate a cycle but never
+    miss one through renaming.
+    """
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            if expr.attr in owner.lock_attrs or _lockish_attr(expr.attr):
+                return f"{owner.name}.{expr.attr}"
+            return None
+        if _lockish_attr(expr.attr):
+            return f"*.{expr.attr}"
+        return None
+    if isinstance(expr, ast.Name):
+        if expr.id in module_locks:
+            return f"<module>.{expr.id}"
+        if _lockish_attr(expr.id):
+            return f"*.{expr.id}"
+    return None
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    """``self.f(...)`` -> ``f``; bare ``f(...)`` -> ``f`` (module scope)."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _walk_method(
+    info: _ClassLocks,
+    method_name: str,
+    node: ast.AST,
+    held: tuple[str, ...],
+    module_locks: frozenset[str],
+    ctx: ModuleContext,
+) -> None:
+    """Recursive sweep recording acquisitions, nesting edges and calls."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired: list[str] = []
+        for item in node.items:
+            lock = _lock_id(item.context_expr, info, module_locks, ctx)
+            if lock is not None:
+                acquired.append(lock)
+                info.sites.setdefault(lock, item.context_expr.lineno)
+                for outer in held:
+                    info.edges.setdefault((outer, lock), item.context_expr.lineno)
+                info.direct.setdefault(method_name, set()).add(lock)
+        inner = held + tuple(acquired)
+        for child in node.body:
+            _walk_method(info, method_name, child, inner, module_locks, ctx)
+        return
+    if isinstance(node, ast.Call):
+        callee = _callee_name(node)
+        if callee is not None:
+            info.calls.append((method_name, held, callee, node.lineno))
+        for child in ast.iter_child_nodes(node):
+            _walk_method(info, method_name, child, held, module_locks, ctx)
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not info.methods.get(method_name):
+        # A nested def runs later, under whatever locks *its* caller
+        # holds — not under the locks lexically held here.
+        for child in ast.iter_child_nodes(node):
+            _walk_method(info, method_name, child, (), module_locks, ctx)
+        return
+    for child in ast.iter_child_nodes(node):
+        _walk_method(info, method_name, child, held, module_locks, ctx)
+
+
+def _collect_class(
+    name: str,
+    node: ast.ClassDef | ast.Module,
+    ctx: ModuleContext,
+    module_locks: frozenset[str],
+) -> _ClassLocks:
+    lock_attrs = (
+        _class_lock_attrs(node, ctx) if isinstance(node, ast.ClassDef)
+        else frozenset()
+    )
+    info = _ClassLocks(name=name, node=node, lock_attrs=lock_attrs)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = item
+    for method_name, method in info.methods.items():
+        for child in method.body:
+            _walk_method(info, method_name, child, (), module_locks, ctx)
+    return info
+
+
+def _lock_closure(info: _ClassLocks) -> dict[str, set[str]]:
+    """``method -> locks it may acquire`` (direct + via same-scope calls)."""
+    closure: dict[str, set[str]] = {
+        name: set(info.direct.get(name, ())) for name in info.methods
+    }
+    changed = True
+    while changed:
+        changed = False
+        for caller, _held, callee, _line in info.calls:
+            if callee in closure:
+                before = len(closure[caller])
+                closure[caller] |= closure[callee]
+                if len(closure[caller]) != before:
+                    changed = True
+    return closure
+
+
+def build_lock_graph(ctx: ModuleContext) -> dict[tuple[str, str], int]:
+    """The module's full lock-acquisition graph: edge -> witness line.
+
+    An edge ``(A, B)`` means some execution path acquires ``B`` while
+    holding ``A`` — either lexically nested ``with`` blocks, or a call
+    made under ``A`` to a same-scope method/function that acquires
+    ``B`` (transitively through further same-scope calls).
+    """
+    module_locks = _module_lock_names(ctx)
+    scopes: list[_ClassLocks] = [
+        _collect_class("<module>", ctx.tree, ctx, module_locks)
+    ]
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            scopes.append(_collect_class(node.name, node, ctx, module_locks))
+    edges: dict[tuple[str, str], int] = {}
+    for info in scopes:
+        closure = _lock_closure(info)
+        for edge, line in info.edges.items():
+            edges.setdefault(edge, line)
+        for _caller, held, callee, line in info.calls:
+            if not held or callee not in closure:
+                continue
+            for outer in held:
+                for inner in sorted(closure[callee]):
+                    edges.setdefault((outer, inner), line)
+    return edges
+
+
+def _cycles(edges: dict[tuple[str, str], int]) -> list[tuple[str, ...]]:
+    """Strongly-connected components with a cycle, plus self-loops.
+
+    Deterministic: nodes visit in sorted order and each reported cycle
+    is rotated to start at its smallest lock id.
+    """
+    graph: dict[str, list[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    for succs in graph.values():
+        succs.sort()
+
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in graph[v]:
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            sccs.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    cycles: list[tuple[str, ...]] = []
+    for component in sccs:
+        if len(component) > 1:
+            ordered = sorted(component)
+            cycles.append(tuple(ordered))
+        elif (component[0], component[0]) in edges:
+            cycles.append((component[0],))
+    return sorted(cycles)
+
+
+@register_rule(
+    "CON001",
+    name="lock-order-cycle",
+    summary="the static lock-acquisition graph must be acyclic",
+)
+def lock_order_cycle(ctx: ModuleContext) -> Iterator[Finding]:
+    """Report cycles in the module's lock-acquisition graph.
+
+    Two threads entering a cycle from different ends deadlock; a
+    self-edge on a non-reentrant ``threading.Lock`` deadlocks a single
+    thread.  The graph is built per module from ``with <lock>:``
+    patterns plus same-scope call chains, so the check is conservative:
+    it can over-approximate (wildcard ``*.attr`` owners conflate
+    same-named locks) but a rename can never hide an ordering.
+    """
+    edges = build_lock_graph(ctx)
+    for cycle in _cycles(edges):
+        if len(cycle) == 1:
+            lock = cycle[0]
+            yield Finding(
+                path=ctx.path,
+                line=edges[(lock, lock)],
+                col=0,
+                rule="CON001",
+                message=(
+                    f"lock {lock} is re-acquired while already held "
+                    "(self-deadlock on a non-reentrant lock)"
+                ),
+            )
+            continue
+        chain = " -> ".join(cycle + (cycle[0],))
+        witness = min(
+            line for (a, b), line in edges.items() if a in cycle and b in cycle
+        )
+        yield Finding(
+            path=ctx.path,
+            line=witness,
+            col=0,
+            rule="CON001",
+            message=(
+                f"potential deadlock: lock-acquisition cycle {chain}; "
+                "impose one global acquisition order (see "
+                "docs/LINTING.md#con001)"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# CON002 — mixed loop/thread mutation without a lock
+# ----------------------------------------------------------------------
+#: Methods that run before the object is shared: writes here are
+#: happens-before any concurrent access and never need a lock.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass(frozen=True)
+class _WriteSite:
+    attr: str
+    line: int
+    in_async: bool
+    locked: bool
+    method: str
+
+
+def _attr_writes(
+    cls: ast.ClassDef, ctx: ModuleContext, lock_attrs: frozenset[str]
+) -> list[_WriteSite]:
+    writes: list[_WriteSite] = []
+
+    def sweep(node: ast.AST, *, method: str, in_async: bool, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = locked or any(
+                _with_item_is_lock(item.context_expr, lock_attrs)
+                for item in node.items
+            )
+            for child in ast.iter_child_nodes(node):
+                sweep(child, method=method, in_async=in_async, locked=holds)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs (executor thunks, callbacks) execute in
+            # whatever context invokes them; classify by their own kind.
+            nested_async = isinstance(node, ast.AsyncFunctionDef)
+            for child in node.body:
+                sweep(child, method=method, in_async=nested_async, locked=False)
+            return
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                writes.append(
+                    _WriteSite(
+                        attr=target.attr,
+                        line=target.lineno,
+                        in_async=in_async,
+                        locked=locked,
+                        method=method,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            sweep(child, method=method, in_async=in_async, locked=locked)
+
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in _CONSTRUCTION_METHODS:
+            continue
+        is_async = isinstance(item, ast.AsyncFunctionDef)
+        for child in item.body:
+            sweep(child, method=item.name, in_async=is_async, locked=False)
+    return writes
+
+
+def _with_item_is_lock(expr: ast.AST, lock_attrs: frozenset[str]) -> bool:
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return expr.attr in lock_attrs or _lockish_attr(expr.attr)
+        return _lockish_attr(expr.attr)
+    if isinstance(expr, ast.Name):
+        return _lockish_attr(expr.id)
+    return False
+
+
+@register_rule(
+    "CON002",
+    name="mixed-context-mutation",
+    summary="no unlocked attribute shared between async and thread code",
+)
+def mixed_context_mutation(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag attributes written on both the event loop and pool threads.
+
+    In a class that mixes ``async def`` (event-loop context) with plain
+    methods (thread-pool / caller-thread context), an attribute written
+    in both contexts is shared mutable state crossing the loop-thread
+    boundary.  That is only safe under a lock; if any of the write
+    sites is unlocked, the attribute is flagged.  Constructor writes
+    (``__init__``/``__post_init__``) happen before sharing and are
+    exempt, as are attributes whose every cross-context write holds a
+    lock.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = _class_lock_attrs(node, ctx)
+        writes = _attr_writes(node, ctx, lock_attrs)
+        by_attr: dict[str, list[_WriteSite]] = {}
+        for site in writes:
+            by_attr.setdefault(site.attr, []).append(site)
+        for attr in sorted(by_attr):
+            sites = by_attr[attr]
+            async_sites = [s for s in sites if s.in_async]
+            sync_sites = [s for s in sites if not s.in_async]
+            if not async_sites or not sync_sites:
+                continue
+            unlocked = [s for s in sites if not s.locked]
+            if not unlocked:
+                continue
+            first = min(unlocked, key=lambda s: s.line)
+            a_where = ", ".join(
+                sorted({f"{s.method}:{s.line}" for s in async_sites})
+            )
+            t_where = ", ".join(
+                sorted({f"{s.method}:{s.line}" for s in sync_sites})
+            )
+            yield Finding(
+                path=ctx.path,
+                line=first.line,
+                col=0,
+                rule="CON002",
+                message=(
+                    f"self.{attr} of {node.name} is written on the event "
+                    f"loop ({a_where}) and in thread context ({t_where}) "
+                    "with an unlocked write site; protect every write "
+                    "with one lock or confine the attribute to one "
+                    "context"
+                ),
+            )

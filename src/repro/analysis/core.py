@@ -1,0 +1,357 @@
+"""Lint core: findings, module context, and the rule registry.
+
+A rule is a function ``(ModuleContext) -> Iterable[Finding]`` registered
+under a stable id (``DET001``, ``CON002``, ...) through the same
+decorator pattern the service layer uses for datasets and strategies
+(:class:`repro.service.registry.Registry`).  The driver parses each file
+once into a :class:`ModuleContext` and hands it to every selected rule;
+rules never re-read the file system, so a lint run is a pure function
+of the source tree — the same inputs always produce byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.service.registry import Registry
+from repro.utils.canonical import content_digest
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "LintRule",
+    "ModuleContext",
+    "RULES",
+    "dotted_name",
+    "lint_source",
+    "parse_pragmas",
+    "register_rule",
+    "rule_ids",
+]
+
+#: Package directories whose modules feed content digests or wire
+#: payloads: rules scoped to "digest-bearing" modules apply here.
+DIGEST_BEARING_PREFIXES = (
+    "src/repro/market/",
+    "src/repro/simulate/",
+    "src/repro/jobs/",
+    "src/repro/security/",
+)
+
+#: The one module allowed to construct nondeterministic generators —
+#: every other module must derive streams through its ``spawn``.
+RNG_MODULE = "src/repro/utils/rng.py"
+
+#: Inline suppression: ``# lint: allow[DET001] reason`` (multiple rule
+#: ids comma-separated).  The reason is mandatory — a bare allow is
+#: itself reported (LNT002) and suppresses nothing.
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*allow\[(?P<rules>[A-Za-z0-9_,\s-]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, ordered for deterministic reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by baseline suppression.
+
+        Hashing ``(rule, path, message)`` instead of the position keeps
+        a baselined finding suppressed when unrelated edits shift it a
+        few lines — the classic baseline-churn failure mode.
+        """
+        return content_digest([self.rule, self.path, self.message])
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# lint: allow[...]`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Every inline-allow pragma in ``source`` (line numbers 1-based).
+
+    A plain regex over raw lines is deliberate: pragmas live in
+    comments, and a string literal that *contains* the pragma text is
+    pathological enough to not design around (the false suppression is
+    line-scoped either way).
+    """
+    pragmas: list[Pragma] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        pragmas.append(
+            Pragma(line=lineno, rules=rules, reason=match.group("reason").strip())
+        )
+    return pragmas
+
+
+class ImportMap(ast.NodeVisitor):
+    """Alias table mapping local names to fully-qualified module paths.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random as nr`` maps ``nr -> numpy.random``; ``from random import
+    shuffle`` maps ``shuffle -> random.shuffle``.  Rules resolve call
+    names through this table so aliasing cannot hide a banned call.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never reach numpy/random/json
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted name through ``aliases``.
+
+    ``np.random.shuffle`` with ``np -> numpy`` resolves to
+    ``numpy.random.shuffle``; unresolvable shapes (subscripts, calls)
+    return ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may consult about one parsed module."""
+
+    path: str  # repo-relative, posix separators
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+    pragmas: list[Pragma] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "ModuleContext":
+        """Parse ``source``; raises ``SyntaxError`` on unparseable input."""
+        tree = ast.parse(source, filename=path)
+        imports = ImportMap()
+        imports.visit(tree)
+        return cls(
+            path=path.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            aliases=imports.aliases,
+            pragmas=parse_pragmas(source),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def digest_bearing(self) -> bool:
+        """Whether this module feeds content digests or wire payloads."""
+        return any(p in self.path for p in _digest_markers())
+
+    @property
+    def rng_exempt(self) -> bool:
+        """Whether this module is the designated RNG construction point."""
+        return self.path.endswith("utils/rng.py")
+
+    def call_name(self, node: ast.Call) -> str | None:
+        """The call's fully-qualified dotted name, or ``None``."""
+        return dotted_name(node.func, self.aliases)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+    def allowed(self, finding: Finding) -> bool:
+        """Whether an inline pragma (with a reason) suppresses ``finding``."""
+        for pragma in self.pragmas:
+            if (
+                pragma.line == finding.line
+                and pragma.reason
+                and finding.rule in pragma.rules
+            ):
+                return True
+        return False
+
+
+def _digest_markers() -> tuple[str, ...]:
+    # Matched as substrings so both repo-relative ("src/repro/jobs/x.py")
+    # and bare-package ("repro/jobs/x.py") path spellings classify the
+    # same way, whatever directory the driver was launched from.
+    return tuple(p.removeprefix("src/") for p in DIGEST_BEARING_PREFIXES)
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+RuleCheck = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: stable id, short name, one-line summary."""
+
+    id: str
+    name: str
+    summary: str
+    check: RuleCheck
+
+
+RULES: Registry[LintRule] = Registry("lint rule")
+
+
+def register_rule(rule_id: str, *, name: str, summary: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering a rule under ``rule_id`` (e.g. ``DET001``)."""
+
+    def wrap(check: RuleCheck) -> RuleCheck:
+        RULES.register(
+            rule_id, LintRule(id=rule_id, name=name, summary=summary, check=check)
+        )
+        return check
+
+    return wrap
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, sorted."""
+    return RULES.names()
+
+
+def _rule(rule_id: str) -> LintRule:
+    entry = RULES.get(rule_id)
+    assert isinstance(entry, LintRule)
+    return entry
+
+
+def resolve_selection(select: Iterable[str] | None) -> tuple[str, ...]:
+    """Normalise a ``--select`` list (ids or names) to sorted rule ids."""
+    if select is None:
+        return rule_ids()
+    chosen: set[str] = set()
+    by_name = {_rule(rid).name: rid for rid in rule_ids()}
+    for item in select:
+        key = item.strip()
+        if not key:
+            continue
+        if key.upper() in RULES:
+            chosen.add(key.upper())
+        elif key in by_name:
+            chosen.add(by_name[key])
+        else:
+            known = ", ".join(rule_ids())
+            raise ValueError(f"unknown rule {item!r}; known: {known}")
+    return tuple(sorted(chosen))
+
+
+def run_rules(ctx: ModuleContext, select: Iterable[str] | None = None) -> list[Finding]:
+    """Run the selected rules over one module; pragma-filtered, sorted.
+
+    Pragmas without a reason never suppress — each such line yields an
+    ``LNT002`` finding instead, so a bare ``# lint: allow[...]`` cannot
+    silently rot into a blanket waiver.
+    """
+    findings: list[Finding] = []
+    for rule_id in resolve_selection(select):
+        for finding in _rule(rule_id).check(ctx):
+            if not ctx.allowed(finding):
+                findings.append(finding)
+    for pragma in ctx.pragmas:
+        if not pragma.reason:
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=pragma.line,
+                    col=0,
+                    rule="LNT002",
+                    message=(
+                        "allow pragma without a reason suppresses nothing; "
+                        "write `# lint: allow[RULE] <why this is safe>`"
+                    ),
+                )
+            )
+    return sorted(findings)
+
+
+def lint_source(
+    source: str, *, path: str = "module.py", select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint a source string (the per-rule test helper).
+
+    A syntax error comes back as a single ``LNT001`` finding, exactly
+    as the driver reports an unparseable repository file.
+    """
+    try:
+        ctx = ModuleContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path.replace("\\", "/"),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="LNT001",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    return run_rules(ctx, select)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every call node in ``tree`` (shared by several rules)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

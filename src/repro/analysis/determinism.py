@@ -1,0 +1,334 @@
+"""Determinism rules: the bit-identity contract, machine-checked.
+
+Every rule here guards the same invariant: a report digest, wire reply
+or settlement computed twice — on another thread count, another shard
+layout, another machine — must come out byte-identical.  The rules ban
+the constructs that historically break that: ambient RNG state,
+wall-clock reads in digested material, ad-hoc JSON/hash serialisation
+beside the canonical helpers, and hash-ordered set iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    iter_calls,
+    register_rule,
+)
+
+__all__ = ["NUMPY_RNG_SAFE", "STDLIB_RANDOM_SEEDABLE", "WALL_CLOCK_CALLS"]
+
+#: ``numpy.random`` attributes that are *constructors of explicit
+#: streams*, not draws from the hidden module-level generator.
+NUMPY_RNG_SAFE = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
+})
+
+#: ``random`` module attributes that name *types* one may instantiate
+#: with an explicit seed (argless instantiation is still flagged).
+STDLIB_RANDOM_SEEDABLE = frozenset({"Random", "SystemRandom"})
+
+#: Wall-clock reads: two runs of the same job see different values, so
+#: none of these may reach digested material.  ``time.monotonic`` and
+#: ``time.perf_counter`` stay legal — elapsed-time measurement is an
+#: operational concern, not a digest input.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _has_args(call: ast.Call) -> bool:
+    return bool(call.args or call.keywords)
+
+
+@register_rule(
+    "DET001",
+    name="unseeded-rng",
+    summary="RNG must flow through repro.utils.rng.spawn-derived streams",
+)
+def unseeded_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag ambient / unseeded random-number generation.
+
+    Three shapes, anywhere outside ``utils/rng.py``:
+
+    * draws from numpy's hidden module-level generator
+      (``np.random.shuffle``, ``np.random.rand``, ...);
+    * argless ``np.random.default_rng()`` — fresh OS entropy every
+      call, unreproducible by construction;
+    * the stdlib ``random`` module's global-state functions (and
+      argless ``random.Random()``/``random.SystemRandom()``).
+    """
+    if ctx.rng_exempt:
+        return
+    for call in iter_calls(ctx.tree):
+        name = ctx.call_name(call)
+        if name is None:
+            continue
+        if name.startswith("numpy.random."):
+            attr = name.removeprefix("numpy.random.")
+            if attr == "default_rng" and not _has_args(call):
+                yield ctx.finding(
+                    "DET001", call,
+                    "argless default_rng() draws fresh OS entropy; derive "
+                    "the stream with repro.utils.rng.spawn(seed, ...)",
+                )
+            elif "." not in attr and attr not in NUMPY_RNG_SAFE:
+                yield ctx.finding(
+                    "DET001", call,
+                    f"np.random.{attr}() draws from numpy's hidden global "
+                    "generator; derive an explicit stream with "
+                    "repro.utils.rng.spawn(seed, ...)",
+                )
+        elif name.startswith("random."):
+            attr = name.removeprefix("random.")
+            if "." in attr:
+                continue  # random.Random(0).random() resolves elsewhere
+            if attr in STDLIB_RANDOM_SEEDABLE:
+                if not _has_args(call):
+                    yield ctx.finding(
+                        "DET001", call,
+                        f"argless random.{attr}() is seeded from OS "
+                        "entropy; pass an explicit seed (or use "
+                        "repro.utils.rng.spawn)",
+                    )
+            else:
+                yield ctx.finding(
+                    "DET001", call,
+                    f"random.{attr}() mutates the interpreter-global RNG "
+                    "state; use a stream from repro.utils.rng.spawn "
+                    "(or a seeded random.Random instance)",
+                )
+
+
+@register_rule(
+    "DET002",
+    name="wall-clock",
+    summary="no wall-clock reads in digest-bearing modules",
+)
+def wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag wall-clock reads inside digest-bearing modules.
+
+    ``market/``, ``simulate/``, ``jobs/`` and ``security/`` feed report
+    digests and wire payloads; a ``time.time()`` there is one refactor
+    away from a digest that never reproduces.  Monotonic clocks
+    (``perf_counter``/``monotonic``) remain legal for throughput
+    accounting.
+    """
+    if not ctx.digest_bearing:
+        return
+    for call in iter_calls(ctx.tree):
+        name = ctx.call_name(call)
+        if name in WALL_CLOCK_CALLS:
+            yield ctx.finding(
+                "DET002", call,
+                f"{name}() is a wall-clock read in a digest-bearing "
+                "module; keep operational timestamps out of digested "
+                "material (monotonic clocks are fine for elapsed time)",
+            )
+
+
+@register_rule(
+    "DET003",
+    name="raw-digest-serialisation",
+    summary="digest material must route through repro.utils.canonical",
+)
+def raw_digest_serialisation(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag ad-hoc serialisation/hashing beside the canonical helpers.
+
+    Two shapes:
+
+    * in digest-bearing modules, any raw ``json.dumps``/``json.dump``
+      or ``hashlib.*`` call — key order, separators and NaN handling
+      must come from :mod:`repro.utils.canonical`
+      (``canonical_json``/``content_digest``), never be re-decided
+      locally;
+    * anywhere, hashing the output of a raw ``json.dumps`` (the
+      tell-tale ``hashlib.sha256(json.dumps(x).encode())`` shape) —
+      that digest depends on dict insertion order.
+
+    ``utils/canonical.py`` itself is the one legitimate home for both.
+    """
+    if ctx.path.endswith("utils/canonical.py"):
+        return
+    for call in iter_calls(ctx.tree):
+        name = ctx.call_name(call)
+        if name is None:
+            continue
+        if name.startswith("hashlib."):
+            if _hashes_raw_json(call, ctx):
+                yield ctx.finding(
+                    "DET003", call,
+                    f"{name} over raw json.dumps output digests dict "
+                    "insertion order; use "
+                    "repro.utils.canonical.content_digest",
+                )
+            elif ctx.digest_bearing:
+                yield ctx.finding(
+                    "DET003", call,
+                    f"raw {name} in a digest-bearing module; route "
+                    "content digests through "
+                    "repro.utils.canonical.content_digest",
+                )
+        elif name in ("json.dumps", "json.dump") and ctx.digest_bearing:
+            yield ctx.finding(
+                "DET003", call,
+                f"raw {name} in a digest-bearing module serialises in "
+                "insertion order; use "
+                "repro.utils.canonical.canonical_json (sorted keys, "
+                "compact separators, NaN rejected)",
+            )
+
+
+def _hashes_raw_json(call: ast.Call, ctx: ModuleContext) -> bool:
+    """Whether a hashlib call's arguments contain a ``json.dumps`` call."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Call):
+                if ctx.call_name(node) in ("json.dumps", "json.dump"):
+                    return True
+    return False
+
+
+#: Call shapes whose argument order is observable — materialising or
+#: iterating a set through these leaks hash order into the result.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Order-insensitive reducers: folding a set through these is fine.
+_ORDER_FREE_CALLS = frozenset({
+    "sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all",
+})
+
+
+def _is_set_valued(node: ast.AST, ctx: ModuleContext) -> bool:
+    """Conservatively: is this expression definitely a ``set``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        # set arithmetic keeps setness: set(a) | set(b)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_valued(node.left, ctx) and _is_set_valued(node.right, ctx)
+    return False
+
+
+@register_rule(
+    "DET004",
+    name="unsorted-set-iteration",
+    summary="set iteration feeding digested material needs sorted()",
+)
+def unsorted_set_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag hash-ordered set iteration in digest-bearing modules.
+
+    Set iteration order depends on element hashes — for strings, on
+    ``PYTHONHASHSEED``, i.e. on the *process* — so a set that reaches a
+    report, a digest or a wire payload without an explicit ``sorted()``
+    produces different bytes on different workers.  (Dict/``.values()``
+    iteration is insertion-ordered in CPython and stays legal; the
+    order is decided by construction, which is the caller's contract.)
+    """
+    if not ctx.digest_bearing:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_set_valued(node.iter, ctx):
+            yield ctx.finding(
+                "DET004", node.iter,
+                "iterating a set directly is hash-ordered "
+                "(PYTHONHASHSEED-dependent); iterate sorted(...) instead",
+            )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_valued(gen.iter, ctx):
+                    yield ctx.finding(
+                        "DET004", gen.iter,
+                        "comprehension over a set is hash-ordered "
+                        "(PYTHONHASHSEED-dependent); iterate sorted(...) "
+                        "instead",
+                    )
+        elif isinstance(node, ast.Call):
+            name = ctx.call_name(node)
+            if (
+                name in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_valued(node.args[0], ctx)
+            ):
+                yield ctx.finding(
+                    "DET004", node,
+                    f"{name}() over a set materialises hash order; wrap "
+                    "the set in sorted(...) first",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and _is_set_valued(node.args[0], ctx)
+            ):
+                yield ctx.finding(
+                    "DET004", node,
+                    "join() over a set concatenates in hash order; join "
+                    "sorted(...) instead",
+                )
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef, ctx: ModuleContext) -> bool:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = ctx.call_name(deco)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+@register_rule(
+    "DET005",
+    name="spec-shape",
+    summary="*Spec classes are frozen dataclasses with to_dict/from_dict/digest",
+)
+def spec_shape(ctx: ModuleContext) -> Iterator[Finding]:
+    """Enforce the spec contract on every ``*Spec`` class.
+
+    Specs are the content-addressed currency of the whole service
+    layer: pools key on them, jobs fingerprint them, checkpoints ship
+    them.  A spec that is mutable, or that cannot round-trip through
+    ``to_dict``/``from_dict``, or that has no ``digest``, silently
+    breaks that addressing — so the shape is enforced mechanically.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Spec") or node.name.startswith("_"):
+            continue
+        missing = {"to_dict", "from_dict", "digest"}
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                missing.discard(item.name)
+        problems: list[str] = []
+        if not _is_frozen_dataclass(node, ctx):
+            problems.append("must be @dataclass(frozen=True)")
+        if missing:
+            problems.append(
+                "missing " + "/".join(sorted(missing))
+            )
+        if problems:
+            yield ctx.finding(
+                "DET005", node,
+                f"spec class {node.name} breaks the spec contract: "
+                + "; ".join(problems)
+                + " (frozen dataclass with paired to_dict/from_dict and a "
+                "content digest)",
+            )

@@ -31,6 +31,12 @@ Commands
     only the pending chunks, ``status``/``list`` inspect the store.
     The merged report is bit-identical to ``simulate`` for any shard
     count.
+``lint``
+    Determinism + concurrency static analysis over the source tree
+    (:mod:`repro.analysis`): unseeded RNG, wall-clock in digest-bearing
+    modules, non-canonical serialisation, set-iteration order, spec
+    shape, lock-order cycles, unlocked loop/thread shared state.
+    Exit codes: 0 clean, 1 findings, 2 internal error.
 ``table``
     Regenerate one of the paper's tables (2, 3 or 4).
 ``figure``
@@ -53,6 +59,8 @@ Examples
     python -m repro jobs run --sessions 20000 --server http://localhost:8765
     python -m repro jobs resume j0123abcd4567ef89 --store sweeps.sqlite3
     python -m repro serve --port 8765
+    python -m repro lint --format json
+    python -m repro lint src/repro/service --select CON001,CON002
     python -m repro table 3 --dataset adult
     python -m repro figure 2 --dataset titanic --csv-dir results/
 """
@@ -253,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_list = jobs_sub.add_parser("list", help="every recorded job")
     _add_store_option(jobs_list)
     _add_client_option(jobs_list)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism + concurrency static analysis "
+             "(exit 0 clean / 1 findings / 2 internal error)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments for the lint driver "
+                           "(see `repro lint --help`)")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(2, 3, 4))
@@ -748,6 +766,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["lint"]:
+        # Hand everything after `lint` to the lint driver verbatim.
+        # argparse's REMAINDER refuses option-like first tokens
+        # (`repro lint --select ...`), so the passthrough cannot go
+        # through the main parser.
+        from repro.analysis import main as lint_main
+
+        return lint_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.command == "bargain":
         return _cmd_bargain(args)
@@ -757,6 +784,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "lint":
+        from repro.analysis import main as lint_main
+
+        return lint_main(args.lint_args)
     if args.command == "table":
         return _cmd_table(args)
     return _cmd_figure(args)

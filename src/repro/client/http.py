@@ -179,7 +179,7 @@ class HttpTransport(Transport):
                 # Equal-jitter exponential backoff: half deterministic,
                 # half random, floored by the server's Retry-After hint.
                 step = self.backoff * (2 ** (attempt - 1))
-                delay = step / 2 + random.random() * step / 2
+                delay = step / 2 + random.random() * step / 2  # lint: allow[DET001] backoff jitter is deliberately nondeterministic and never reaches digested material
                 if retry_after is not None:
                     delay = max(delay, retry_after)
                 time.sleep(delay)

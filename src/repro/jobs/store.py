@@ -14,8 +14,9 @@ submit finds the first's record — finished chunks and all — instead of
 starting a duplicate sweep.
 
 Chunk results may carry NaN (failed sessions' ``delta_g``); they are
-stored with Python's JSON NaN extension, which :func:`json.loads`
-round-trips exactly.  Wire-facing callers sanitise with
+stored via :func:`repro.utils.canonical.stable_json` — sorted keys
+plus Python's JSON NaN extension, which :func:`json.loads` round-trips
+exactly.  Wire-facing callers sanitise with
 :func:`repro.utils.canonical.json_safe`.
 """
 
@@ -28,7 +29,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from repro.utils.canonical import content_digest
+from repro.utils.canonical import canonical_json, content_digest, stable_json
 from repro.utils.validation import require
 
 __all__ = ["JobRecord", "JobStore", "default_store_path"]
@@ -72,6 +73,18 @@ def default_store_path() -> str:
     return os.path.join(
         os.path.expanduser("~"), ".cache", "repro", "jobs.sqlite3"
     )
+
+
+def _wall_now() -> float:
+    """The ``created_at``/``updated_at`` row clock.
+
+    These columns are operational metadata — when a row last moved, for
+    ``jobs list`` and staleness display.  They never reach a job id,
+    chunk result, report or digest, so the wall clock is the right
+    clock here (a monotonic clock would be meaningless across
+    processes).
+    """
+    return time.time()  # lint: allow[DET002] row timestamps are operational metadata, never digested
 
 
 @dataclass(frozen=True)
@@ -160,7 +173,7 @@ class JobStore:
         """Record a job (idempotent: same content → same record)."""
         require(bool(chunks), "a job needs at least one chunk")
         job_id = self.job_id_for(kind, spec, chunks)
-        now = time.time()
+        now = _wall_now()
         with self._connect() as conn:
             conn.execute(
                 "INSERT OR IGNORE INTO jobs "
@@ -169,8 +182,8 @@ class JobStore:
                 (
                     job_id,
                     kind,
-                    json.dumps(spec),
-                    json.dumps([list(c) for c in chunks]),
+                    canonical_json(spec),
+                    canonical_json([list(c) for c in chunks]),
                     now,
                     now,
                 ),
@@ -294,7 +307,7 @@ class JobStore:
             updated = conn.execute(
                 "UPDATE chunks SET status = 'done', result = ?, elapsed = ?, "
                 "updated_at = ? WHERE job_id = ? AND chunk_index = ?",
-                (json.dumps(result), float(elapsed), time.time(),
+                (stable_json(result), float(elapsed), _wall_now(),
                  job_id, int(chunk_index)),
             ).rowcount
             require(
@@ -309,7 +322,7 @@ class JobStore:
             updated = conn.execute(
                 "UPDATE jobs SET status = ?, error = ?, updated_at = ? "
                 "WHERE job_id = ?",
-                (status, error, time.time(), job_id),
+                (status, error, _wall_now(), job_id),
             ).rowcount
             require(updated == 1, f"unknown job {job_id!r}")
 
@@ -319,6 +332,6 @@ class JobStore:
             updated = conn.execute(
                 "UPDATE jobs SET status = 'done', report = ?, digest = ?, "
                 "error = NULL, updated_at = ? WHERE job_id = ?",
-                (json.dumps(report), digest, time.time(), job_id),
+                (stable_json(report), digest, _wall_now(), job_id),
             ).rowcount
             require(updated == 1, f"unknown job {job_id!r}")

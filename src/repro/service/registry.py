@@ -31,7 +31,7 @@ work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Generic, ItemsView, TypeVar
 
 from repro.market.config import MarketConfig
 from repro.market.costs import (
@@ -78,29 +78,39 @@ __all__ = [
 ]
 
 
-class Registry:
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
     """A named table of pluggable components.
 
     ``register`` doubles as a decorator; collisions are hard errors
     unless ``overwrite=True`` (re-importing an extension module is the
-    one legitimate reason to overwrite).
+    one legitimate reason to overwrite).  Parameterising over the entry
+    type (``Registry[DatasetEntry]``) makes every ``get`` lookup typed,
+    so a consumer spelling ``DATASETS.get(name).gain_scale`` is checked
+    statically instead of trusting the table's discipline.
     """
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
-        self._entries: dict[str, object] = {}
+        self._entries: dict[str, T] = {}
 
     # ------------------------------------------------------------------
     def register(
-        self, name: str, obj: object = None, *, overwrite: bool = False
-    ):
+        self, name: str, obj: T | None = None, *, overwrite: bool = False
+    ) -> T | Callable[[T], T]:
         """Register ``obj`` under ``name``; without ``obj``, a decorator."""
         require(
             isinstance(name, str) and name and name == name.strip(),
             f"{self.kind} name must be a non-empty string",
         )
         if obj is None:
-            return lambda target: self.register(name, target, overwrite=overwrite)
+            def deferred(target: T) -> T:
+                self.register(name, target, overwrite=overwrite)
+                return target
+
+            return deferred
         if not overwrite and name in self._entries:
             raise ValueError(
                 f"{self.kind} {name!r} is already registered; "
@@ -113,7 +123,7 @@ class Registry:
         """Remove an entry (tests and hot-reload use this)."""
         self._entries.pop(name, None)
 
-    def get(self, name: str) -> object:
+    def get(self, name: str) -> T:
         """Look up an entry, with the known names in the error."""
         try:
             return self._entries[name]
@@ -132,7 +142,7 @@ class Registry:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def items(self):
+    def items(self) -> ItemsView[str, T]:
         return self._entries.items()
 
 
@@ -165,7 +175,7 @@ class DatasetEntry:
         )
 
 
-DATASETS = Registry("dataset")
+DATASETS: Registry[DatasetEntry] = Registry("dataset")
 
 
 def register_dataset(
@@ -248,7 +258,7 @@ class BaseModelEntry:
         return dict(getattr(preset, self.preset_params_attr))
 
 
-BASE_MODELS = Registry("base model")
+BASE_MODELS: Registry[BaseModelEntry] = Registry("base model")
 
 
 def register_base_model(
@@ -299,8 +309,8 @@ class StrategyContext:
     rng: object = None
 
 
-TASK_STRATEGIES = Registry("task strategy")
-DATA_STRATEGIES = Registry("data strategy")
+TASK_STRATEGIES: Registry[Callable[[StrategyContext], object]] = Registry("task strategy")
+DATA_STRATEGIES: Registry[Callable[[StrategyContext], object]] = Registry("data strategy")
 
 
 def register_task_strategy(name: str, *, overwrite: bool = False):
@@ -350,7 +360,7 @@ class CostEntry:
     takes_parameter: bool = True
 
 
-COSTS = Registry("cost kind")
+COSTS: Registry[CostEntry] = Registry("cost kind")
 
 
 def register_cost(

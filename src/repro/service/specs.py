@@ -23,17 +23,23 @@ shared by concurrent sessions, and (via the same
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any
 
 from repro.service import registry
 from repro.utils.canonical import content_digest
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.market.costs import CostModel
+    from repro.oracle_factory.cache import GainCache
+    from repro.simulate.population import PopulationSpec
 
 __all__ = ["BatchSpec", "MarketSpec", "SessionSpec", "SimulationSpec"]
 
 _INFORMATION = ("perfect", "imperfect")
 
 
-def _check_plain_dict(value: dict | None, label: str) -> None:
+def _check_plain_dict(value: dict[str, Any] | None, label: str) -> None:
     if value is None:
         return
     require(isinstance(value, dict), f"{label} must be a dict")
@@ -43,7 +49,7 @@ def _check_plain_dict(value: dict | None, label: str) -> None:
     )
 
 
-def _reject_unknown_keys(cls: type, payload: dict) -> None:
+def _reject_unknown_keys(cls: Any, payload: dict[str, Any]) -> None:
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(payload) - known)
     require(isinstance(payload, dict), f"{cls.__name__} payload must be a dict")
@@ -62,7 +68,7 @@ def _check_secure(secure: object, key_bits: object) -> None:
     require(128 <= key_bits <= 4096, "key_bits must be in [128, 4096]")
 
 
-def _secure_dict(secure: bool, key_bits: int) -> dict:
+def _secure_dict(secure: bool, key_bits: int) -> dict[str, Any]:
     """The ``secure``/``key_bits`` wire keys, omitted at their defaults
     so pre-secure payloads and spec digests are unchanged."""
     if not secure and key_bits == 256:
@@ -70,7 +76,7 @@ def _secure_dict(secure: bool, key_bits: int) -> dict:
     return {"secure": secure, "key_bits": key_bits}
 
 
-def _mix_triples(value: object, label: str) -> tuple | None:
+def _mix_triples(value: object, label: str) -> tuple[tuple[Any, ...], ...] | None:
     """Normalise a JSON list-of-lists mix back into tuples."""
     if value is None:
         return None
@@ -97,8 +103,8 @@ class MarketSpec:
     seed: int = 0
     quick: bool = True
     n_bundles: int | None = None
-    model_params: dict | None = None
-    config_overrides: dict | None = None
+    model_params: dict[str, Any] | None = None
+    config_overrides: dict[str, Any] | None = None
     jobs: int = 1
     cache_dir: str | None = None
     no_cache: bool = False
@@ -123,7 +129,7 @@ class MarketSpec:
         _check_plain_dict(self.config_overrides, "config_overrides")
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form (the ``POST /markets`` JSON shape)."""
         return {
             "dataset": self.dataset,
@@ -141,7 +147,7 @@ class MarketSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "MarketSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "MarketSpec":
         """Inverse of :meth:`to_dict`; unknown keys are hard errors."""
         _reject_unknown_keys(cls, payload)
         return cls(**payload)
@@ -163,7 +169,7 @@ class MarketSpec:
         """The registered dataset entry this spec builds on."""
         return registry.DATASETS.get(self.dataset)
 
-    def cache(self):
+    def cache(self) -> "GainCache | None":
         """The :class:`GainCache` implied by the execution knobs."""
         if self.no_cache:
             return None
@@ -202,7 +208,7 @@ class SessionSpec:
     run: int | None = None
     cost_task: tuple[str, float] | None = None
     cost_data: tuple[str, float] | None = None
-    config_overrides: dict | None = None
+    config_overrides: dict[str, Any] | None = None
     secure: bool = False
     key_bits: int = 256
 
@@ -248,10 +254,10 @@ class SessionSpec:
 
         return spawn(self.seed, "run", self.run)
 
-    def cost_models(self):
+    def cost_models(self) -> "tuple[CostModel | None, CostModel | None]":
         """``(cost_task, cost_data)`` as instantiated models."""
 
-        def build(pair):
+        def build(pair: tuple[str, float] | None) -> "CostModel | None":
             if pair is None:
                 return None
             kind, a = pair
@@ -260,7 +266,7 @@ class SessionSpec:
         return build(self.cost_task), build(self.cost_data)
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form (the ``POST /sessions`` JSON shape)."""
         return {
             "market": (
@@ -283,7 +289,7 @@ class SessionSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SessionSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "SessionSpec":
         """Inverse of :meth:`to_dict`; unknown keys are hard errors."""
         _reject_unknown_keys(cls, payload)
         payload = dict(payload)
@@ -364,18 +370,19 @@ class SimulationSpec:
         """The calibration anchor: ``preset``, else the dataset, else synthetic."""
         return self.preset or self.dataset or "synthetic"
 
-    def population_spec(self):
+    def population_spec(self) -> "PopulationSpec":
         """The :class:`~repro.simulate.population.PopulationSpec` implied."""
         from repro.simulate.population import PopulationSpec
 
-        overrides: dict = {"preset": self.resolved_preset()}
+        overrides: dict[str, Any] = {"preset": self.resolved_preset()}
         if self.strategy_mix:
             overrides["strategy_mix"] = self.strategy_mix
         if self.cost_mix:
             overrides["cost_mix"] = self.cost_mix
         return PopulationSpec(**overrides)
 
-    def market_spec(self, *, quick: bool = True, n_bundles: int | None = None):
+    def market_spec(self, *, quick: bool = True,
+                    n_bundles: int | None = None) -> "MarketSpec | None":
         """The oracle-backing :class:`MarketSpec` (``None`` if synthetic)."""
         if self.dataset is None:
             return None
@@ -391,7 +398,7 @@ class SimulationSpec:
         )
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form."""
         return {
             "sessions": self.sessions,
@@ -414,7 +421,7 @@ class SimulationSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SimulationSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "SimulationSpec":
         """Inverse of :meth:`to_dict`; unknown keys are hard errors."""
         _reject_unknown_keys(cls, payload)
         return cls(**payload)
@@ -456,12 +463,12 @@ class BatchSpec:
                 "the session template's run must be None (the batch "
                 "derives run=0..runs-1 itself)")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Canonical plain-dict form."""
         return {"session": self.session.to_dict(), "runs": self.runs}
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "BatchSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "BatchSpec":
         """Inverse of :meth:`to_dict`; unknown keys are hard errors."""
         _reject_unknown_keys(cls, payload)
         payload = dict(payload)

@@ -17,7 +17,7 @@ seller's idiosyncratic reserved prices, and the strategy/cost mix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.market.engine import BargainingEngine
 from repro.market.oracle import PerformanceOracle, synthetic_gains
 from repro.market.pricing import ReservedPrice
 from repro.service import registry
+from repro.utils.canonical import content_digest
 from repro.utils.rng import spawn
 from repro.utils.validation import require
 
@@ -125,6 +126,46 @@ class PopulationSpec:
     def gain_scale(self) -> float:
         """ΔG magnitude anchoring this preset's synthetic catalogues."""
         return registry.DATASETS.get(self.preset).gain_scale
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (tuples become JSON-native lists)."""
+        return {
+            "preset": self.preset,
+            "n_features": self.n_features,
+            "n_bundles": self.n_bundles,
+            "strategy_mix": [list(t) for t in self.strategy_mix],
+            "cost_mix": [list(t) for t in self.cost_mix],
+            "utility_jitter": self.utility_jitter,
+            "rate_jitter": self.rate_jitter,
+            "base_jitter": self.base_jitter,
+            "budget_jitter": self.budget_jitter,
+            "eps_spread": self.eps_spread,
+            "target_quantile_range": list(self.target_quantile_range),
+            "max_rounds": self.max_rounds,
+            "n_price_samples": self.n_price_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PopulationSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are hard errors."""
+        require(isinstance(payload, dict), "PopulationSpec payload must be a dict")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        require(not unknown,
+                f"unknown PopulationSpec keys {unknown}; known: {sorted(known)}")
+        data = dict(payload)
+        if "strategy_mix" in data:
+            data["strategy_mix"] = tuple(tuple(t) for t in data["strategy_mix"])
+        if "cost_mix" in data:
+            data["cost_mix"] = tuple(tuple(t) for t in data["cost_mix"])
+        if "target_quantile_range" in data:
+            data["target_quantile_range"] = tuple(data["target_quantile_range"])
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Content digest over :meth:`to_dict` (the shared canonical hash)."""
+        return content_digest(self.to_dict())
 
 
 @dataclass

@@ -21,7 +21,7 @@ import hashlib
 import json
 import math
 
-__all__ = ["canonical_json", "content_digest", "json_safe"]
+__all__ = ["canonical_json", "content_digest", "json_safe", "stable_json"]
 
 
 def canonical_json(obj: object) -> str:
@@ -29,6 +29,21 @@ def canonical_json(obj: object) -> str:
     return json.dumps(
         obj, sort_keys=True, separators=(",", ":"), allow_nan=False
     )
+
+
+def stable_json(obj: object) -> str:
+    """Sorted-key compact JSON that *tolerates* NaN/Infinity.
+
+    The storage-grade sibling of :func:`canonical_json`: key order and
+    separators are pinned (so stored bytes never depend on dict
+    insertion order), but non-finite floats serialise with Python's
+    JSON extension (``NaN``/``Infinity``), which :func:`json.loads`
+    round-trips exactly.  Durable stores that must preserve NaN payload
+    values (e.g. failed sessions' ``delta_g`` in the job store) write
+    through this; **digests must keep using** :func:`canonical_json` /
+    :func:`content_digest`, which reject non-finite floats outright.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
 def content_digest(obj: object, *, length: int = 16) -> str:

@@ -8,6 +8,9 @@ inside numpy broadcasting.
 from __future__ import annotations
 
 import numpy as np
+from typing import Any
+
+from numpy.typing import NDArray
 
 __all__ = [
     "check_finite",
@@ -26,7 +29,9 @@ def require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
-def check_matrix(x: object, name: str = "X", *, dtype: type = np.float64) -> np.ndarray:
+def check_matrix(
+    x: object, name: str = "X", *, dtype: type[Any] = np.float64
+) -> NDArray[Any]:
     """Coerce ``x`` to a 2-D float array, raising on wrong dimensionality."""
     arr = np.asarray(x, dtype=dtype)
     if arr.ndim == 1:
@@ -36,7 +41,9 @@ def check_matrix(x: object, name: str = "X", *, dtype: type = np.float64) -> np.
     return arr
 
 
-def check_vector(y: object, name: str = "y", *, dtype: type = np.float64) -> np.ndarray:
+def check_vector(
+    y: object, name: str = "y", *, dtype: type[Any] = np.float64
+) -> NDArray[Any]:
     """Coerce ``y`` to a 1-D array, raising on wrong dimensionality."""
     arr = np.asarray(y, dtype=dtype)
     require(arr.ndim == 1, f"{name} must be 1-dimensional, got ndim={arr.ndim}")
@@ -44,7 +51,7 @@ def check_vector(y: object, name: str = "y", *, dtype: type = np.float64) -> np.
     return arr
 
 
-def check_finite(x: np.ndarray, name: str = "array") -> np.ndarray:
+def check_finite(x: NDArray[Any], name: str = "array") -> NDArray[Any]:
     """Raise if ``x`` contains NaN or infinities."""
     if not np.all(np.isfinite(x)):
         raise ValueError(f"{name} contains NaN or infinite values")

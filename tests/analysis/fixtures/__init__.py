@@ -1,0 +1,9 @@
+"""Synthetic lint-target packages.
+
+These modules are *inputs to the linter*, never imported by the code
+under test: each one deliberately violates (or deliberately satisfies)
+one rule, so the analysis suite can assert findings against real files
+on disk — the same discovery path CI runs — rather than only against
+inline source strings.  ``tests/`` is excluded from the default lint
+surface precisely so these fixtures never pollute a repo-wide run.
+"""

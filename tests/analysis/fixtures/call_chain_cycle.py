@@ -1,0 +1,36 @@
+"""A lock cycle hidden behind a same-class call (CON001 positive fixture).
+
+No single method nests the locks both ways: ``push`` holds the queue
+lock and *calls* ``_flush``, which acquires the sink lock; ``drain``
+holds the sink lock and calls ``_requeue``, which acquires the queue
+lock.  Only the transitive closure over same-scope calls sees the
+``queue -> sink -> queue`` cycle.
+"""
+
+import threading
+
+
+class Spooler:
+    def __init__(self) -> None:
+        self._queue_lock = threading.Lock()
+        self._sink_lock = threading.Lock()
+        self.pending: list[str] = []
+        self.sunk: list[str] = []
+
+    def push(self, item: str) -> None:
+        with self._queue_lock:
+            self.pending.append(item)
+            self._flush()
+
+    def _flush(self) -> None:
+        with self._sink_lock:
+            self.sunk.extend(self.pending)
+
+    def drain(self) -> None:
+        with self._sink_lock:
+            items = list(self.sunk)
+            self._requeue(items)
+
+    def _requeue(self, items: list[str]) -> None:
+        with self._queue_lock:
+            self.pending.extend(items)

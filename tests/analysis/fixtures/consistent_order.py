@@ -1,0 +1,26 @@
+"""Two locks always nested the same way (CON001 negative fixture).
+
+Every path acquires ``_accounts_lock`` before ``_journal_lock`` — one
+global acquisition order, no cycle, nothing to report.
+"""
+
+import threading
+
+
+class OrderedLedger:
+    def __init__(self) -> None:
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self.balance = 0
+        self.journal: list[str] = []
+
+    def transfer(self, amount: int) -> None:
+        with self._accounts_lock:
+            self.balance += amount
+            with self._journal_lock:
+                self.journal.append(f"transfer {amount}")
+
+    def audit(self) -> int:
+        with self._accounts_lock:
+            with self._journal_lock:
+                return self.balance + len(self.journal)

@@ -1,0 +1,29 @@
+"""A deliberate AB/BA lock-order cycle (CON001 positive fixture).
+
+``transfer`` acquires accounts -> journal; ``audit`` acquires
+journal -> accounts.  Two threads entering from different ends
+deadlock; the static lock graph has the cycle
+``Ledger._accounts_lock -> Ledger._journal_lock -> Ledger._accounts_lock``.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self.balance = 0
+        self.journal: list[str] = []
+
+    def transfer(self, amount: int) -> None:
+        with self._accounts_lock:
+            self.balance += amount
+            with self._journal_lock:
+                self.journal.append(f"transfer {amount}")
+
+    def audit(self) -> int:
+        with self._journal_lock:
+            entries = len(self.journal)
+            with self._accounts_lock:
+                return self.balance + entries

@@ -1,0 +1,138 @@
+"""Lint core: findings, pragmas, import resolution, rule registry."""
+
+import pytest
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    lint_source,
+    parse_pragmas,
+    resolve_selection,
+    rule_ids,
+)
+
+
+class TestFinding:
+    def test_ordering_is_positional(self):
+        a = Finding("a.py", 1, 0, "DET001", "m")
+        b = Finding("a.py", 2, 0, "DET001", "m")
+        c = Finding("b.py", 1, 0, "DET001", "m")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_fingerprint_ignores_position(self):
+        a = Finding("a.py", 1, 0, "DET001", "m")
+        b = Finding("a.py", 99, 7, "DET001", "m")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_rule_and_message(self):
+        a = Finding("a.py", 1, 0, "DET001", "m")
+        assert a.fingerprint() != Finding("a.py", 1, 0, "DET002", "m").fingerprint()
+        assert a.fingerprint() != Finding("a.py", 1, 0, "DET001", "n").fingerprint()
+
+    def test_render_is_path_line_col_rule(self):
+        f = Finding("src/x.py", 3, 4, "DET001", "boom")
+        assert f.render() == "src/x.py:3:4: DET001 boom"
+
+
+class TestPragmas:
+    def test_parse_rules_and_reason(self):
+        pragmas = parse_pragmas("x = 1  # lint: allow[DET001, CON002] known safe\n")
+        assert len(pragmas) == 1
+        assert pragmas[0].rules == frozenset({"DET001", "CON002"})
+        assert pragmas[0].reason == "known safe"
+        assert pragmas[0].line == 1
+
+    def test_reasonless_pragma_has_empty_reason(self):
+        (pragma,) = parse_pragmas("x = 1  # lint: allow[DET001]\n")
+        assert pragma.reason == ""
+
+    def test_non_pragma_comments_ignored(self):
+        assert parse_pragmas("x = 1  # plain comment\n") == []
+
+    def test_pragma_with_reason_suppresses_same_line(self):
+        src = (
+            "import random\n"
+            "x = random.random()  # lint: allow[DET001] deliberate jitter\n"
+        )
+        assert lint_source(src) == []
+
+    def test_reasonless_pragma_suppresses_nothing_and_reports(self):
+        src = "import random\nx = random.random()  # lint: allow[DET001]\n"
+        findings = lint_source(src)
+        rules = [f.rule for f in findings]
+        assert "DET001" in rules and "LNT002" in rules
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = "import random\nx = random.random()  # lint: allow[DET002] wrong id\n"
+        assert [f.rule for f in lint_source(src)] == ["DET001"]
+
+
+class TestImportResolution:
+    def test_alias_resolves(self):
+        ctx = ModuleContext.from_source(
+            "import numpy as np\nnp.random.shuffle([1])\n", "m.py"
+        )
+        call = ctx.tree.body[1].value
+        assert ctx.call_name(call) == "numpy.random.shuffle"
+
+    def test_from_import_resolves(self):
+        ctx = ModuleContext.from_source(
+            "from numpy import random as nr\nnr.shuffle([1])\n", "m.py"
+        )
+        call = ctx.tree.body[1].value
+        assert ctx.call_name(call) == "numpy.random.shuffle"
+
+    def test_from_import_function_resolves(self):
+        ctx = ModuleContext.from_source(
+            "from random import shuffle\nshuffle([1])\n", "m.py"
+        )
+        call = ctx.tree.body[1].value
+        assert ctx.call_name(call) == "random.shuffle"
+
+    def test_unresolvable_shapes_are_none(self):
+        ctx = ModuleContext.from_source("x[0].method()\n", "m.py")
+        call = ctx.tree.body[0].value
+        assert ctx.call_name(call) is None
+
+
+class TestModuleContext:
+    @pytest.mark.parametrize("path,expected", [
+        ("src/repro/jobs/store.py", True),
+        ("repro/market/engine.py", True),
+        ("src/repro/simulate/report.py", True),
+        ("src/repro/security/batch.py", True),
+        ("src/repro/service/manager.py", False),
+        ("src/repro/client/http.py", False),
+    ])
+    def test_digest_bearing_classification(self, path, expected):
+        ctx = ModuleContext.from_source("x = 1\n", path)
+        assert ctx.digest_bearing is expected
+
+    def test_rng_exempt_only_for_rng_module(self):
+        assert ModuleContext.from_source("", "src/repro/utils/rng.py").rng_exempt
+        assert not ModuleContext.from_source("", "src/repro/utils/log.py").rng_exempt
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        ids = rule_ids()
+        for expected in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                         "CON001", "CON002"):
+            assert expected in ids
+
+    def test_selection_by_id_and_name(self):
+        assert resolve_selection(["DET001"]) == ("DET001",)
+        assert resolve_selection(["unseeded-rng"]) == ("DET001",)
+        assert resolve_selection(["det001"]) == ("DET001",)
+
+    def test_selection_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_selection(["NOPE999"])
+
+
+class TestSyntaxError:
+    def test_unparseable_source_is_lnt001(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "LNT001"
+        assert "does not parse" in findings[0].message

@@ -1,0 +1,189 @@
+"""Determinism rules: one positive and one negative case per rule (and
+then some) — every case runs the real rule over real parsed source."""
+
+from repro.analysis.core import lint_source
+
+DIGEST_PATH = "src/repro/jobs/module.py"       # digest-bearing
+PLAIN_PATH = "src/repro/client/module.py"      # not digest-bearing
+
+
+def rules(src, *, path=PLAIN_PATH, select=None):
+    return [f.rule for f in lint_source(src, path=path, select=select)]
+
+
+class TestDET001UnseededRNG:
+    def test_numpy_global_draw_flagged(self):
+        assert rules("import numpy as np\nnp.random.shuffle([1])\n") == ["DET001"]
+
+    def test_argless_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["DET001"]
+        assert "OS entropy" in findings[0].message
+
+    def test_stdlib_random_flagged(self):
+        assert rules("import random\nx = random.random()\n") == ["DET001"]
+
+    def test_from_import_alias_cannot_hide_it(self):
+        assert rules("from random import shuffle\nshuffle([1])\n") == ["DET001"]
+
+    def test_argless_random_instance_flagged(self):
+        assert rules("import random\nr = random.Random()\n") == ["DET001"]
+
+    def test_seeded_constructors_pass(self):
+        assert rules(
+            "import numpy as np\nimport random\n"
+            "rng = np.random.default_rng(0)\n"
+            "r = random.Random(42)\n"
+        ) == []
+
+    def test_generator_method_draws_pass(self):
+        # rng.shuffle() on a spawned generator resolves to no banned name.
+        assert rules(
+            "from repro.utils.rng import spawn\n"
+            "rng = spawn(0, 'x')\nrng.shuffle([1])\n"
+        ) == []
+
+    def test_utils_rng_module_is_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(src, path="src/repro/utils/rng.py") == []
+
+
+class TestDET002WallClock:
+    def test_time_time_in_digest_module_flagged(self):
+        src = "import time\nt = time.time()\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET002"]
+
+    def test_datetime_now_in_digest_module_flagged(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET002"]
+
+    def test_same_source_outside_digest_modules_passes(self):
+        assert rules("import time\nt = time.time()\n", path=PLAIN_PATH) == []
+
+    def test_monotonic_clocks_pass_everywhere(self):
+        src = "import time\na = time.perf_counter()\nb = time.monotonic()\n"
+        assert rules(src, path=DIGEST_PATH) == []
+
+
+class TestDET003RawDigestSerialisation:
+    def test_raw_dumps_in_digest_module_flagged(self):
+        src = "import json\ns = json.dumps({'a': 1})\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET003"]
+
+    def test_raw_hashlib_in_digest_module_flagged(self):
+        src = "import hashlib\nh = hashlib.sha256(b'x')\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET003"]
+
+    def test_hash_of_raw_json_flagged_anywhere(self):
+        src = (
+            "import hashlib, json\n"
+            "h = hashlib.sha256(json.dumps({'a': 1}).encode())\n"
+        )
+        findings = lint_source(src, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["DET003"]
+        assert "insertion order" in findings[0].message
+
+    def test_raw_dumps_outside_digest_modules_passes(self):
+        assert rules("import json\ns = json.dumps({'a': 1})\n", path=PLAIN_PATH) == []
+
+    def test_canonical_module_is_exempt(self):
+        src = "import hashlib, json\nh = hashlib.sha256(json.dumps({}).encode())\n"
+        assert rules(src, path="src/repro/utils/canonical.py") == []
+
+    def test_canonical_helpers_pass(self):
+        src = (
+            "from repro.utils.canonical import canonical_json, content_digest\n"
+            "s = canonical_json({'a': 1})\nd = content_digest({'a': 1})\n"
+        )
+        assert rules(src, path=DIGEST_PATH) == []
+
+
+class TestDET004UnsortedSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rules("for x in {1, 2}:\n    pass\n", path=DIGEST_PATH) == ["DET004"]
+
+    def test_comprehension_over_set_call_flagged(self):
+        src = "items = [1]\nout = [v for v in set(items)]\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET004"]
+
+    def test_list_materialisation_flagged(self):
+        assert rules("xs = list({1, 2})\n", path=DIGEST_PATH) == ["DET004"]
+
+    def test_join_over_set_flagged(self):
+        assert rules("s = ','.join({'a', 'b'})\n", path=DIGEST_PATH) == ["DET004"]
+
+    def test_set_arithmetic_keeps_setness(self):
+        src = "for x in set([1]) | set([2]):\n    pass\n"
+        assert rules(src, path=DIGEST_PATH) == ["DET004"]
+
+    def test_sorted_set_passes(self):
+        src = "for x in sorted({1, 2}):\n    pass\nxs = list(sorted(set([1])))\n"
+        assert rules(src, path=DIGEST_PATH) == []
+
+    def test_dict_iteration_passes(self):
+        src = "d = {'a': 1}\nfor k in d:\n    pass\nxs = list(d.values())\n"
+        assert rules(src, path=DIGEST_PATH) == []
+
+    def test_order_free_reducers_pass(self):
+        src = "n = len({1, 2})\nm = max({1, 2})\ns = sum({1, 2})\n"
+        assert rules(src, path=DIGEST_PATH) == []
+
+    def test_outside_digest_modules_passes(self):
+        assert rules("for x in {1, 2}:\n    pass\n", path=PLAIN_PATH) == []
+
+
+GOOD_SPEC = """\
+from dataclasses import dataclass
+from repro.utils.canonical import content_digest
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    n: int = 1
+
+    def to_dict(self):
+        return {"n": self.n}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(**payload)
+
+    def digest(self):
+        return content_digest(self.to_dict())
+"""
+
+
+class TestDET005SpecShape:
+    def test_conforming_spec_passes(self):
+        assert rules(GOOD_SPEC) == []
+
+    def test_mutable_spec_flagged(self):
+        src = GOOD_SPEC.replace("@dataclass(frozen=True)", "@dataclass")
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["DET005"]
+        assert "frozen=True" in findings[0].message
+
+    def test_missing_methods_flagged(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class BareSpec:\n    n: int = 1\n"
+        )
+        findings = lint_source(src)
+        assert [f.rule for f in findings] == ["DET005"]
+        assert "digest" in findings[0].message
+        assert "from_dict" in findings[0].message
+
+    def test_private_and_non_spec_classes_skipped(self):
+        src = (
+            "class _ScratchSpec:\n    pass\n"
+            "class Inspector:\n    pass\n"
+        )
+        assert rules(src) == []
+
+
+class TestSelection:
+    def test_select_restricts_rules(self):
+        src = "import random, time\nx = random.random()\nt = time.time()\n"
+        assert rules(src, path=DIGEST_PATH, select=["DET002"]) == ["DET002"]

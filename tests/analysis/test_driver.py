@@ -1,0 +1,182 @@
+"""Driver contract: discovery, baselines, rendering, exit codes."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.driver import (
+    Baseline,
+    DEFAULT_PATHS,
+    LintInternalError,
+    discover_files,
+    lint_paths,
+    main,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestDiscovery:
+    def test_discovers_sorted_python_files(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.py").write_text("x = 1\n")
+        files = discover_files(["."], root=str(tmp_path))
+        assert [os.path.basename(f) for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_excluded_dirs_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "fixture.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        files = discover_files(["."], root=str(tmp_path))
+        assert [os.path.basename(f) for f in files] == ["ok.py"]
+
+    def test_missing_path_is_internal_error(self, tmp_path):
+        with pytest.raises(LintInternalError):
+            discover_files(["no-such-dir"], root=str(tmp_path))
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        code, out, err = run_cli([str(tmp_path)])
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\nrandom.random()\n")
+        code, out, err = run_cli([str(tmp_path)])
+        assert code == 1
+        assert "DET001" in out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        code, out, err = run_cli([str(tmp_path / "absent")])
+        assert code == 2
+        assert "error" in err
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        code, out, err = run_cli([str(tmp_path), "--select", "NOPE999"])
+        assert code == 2
+
+    def test_unreadable_baseline_exits_two(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        code, out, err = run_cli(
+            [str(tmp_path), "--baseline", str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def nope(:\n")
+        code, out, err = run_cli([str(tmp_path)])
+        assert code == 1
+        assert "LNT001" in out
+
+
+class TestBaseline:
+    def test_write_then_suppress_roundtrip(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "baseline.json"
+        code, out, _ = run_cli([str(tmp_path), "--write-baseline", str(baseline)])
+        assert code == 0
+        assert "wrote 1 finding(s)" in out
+
+        code, out, _ = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli([str(tmp_path), "--write-baseline", str(baseline)])
+        # unrelated edit pushes the finding three lines down
+        target.write_text("import random\n\n\n\nrandom.random()\n")
+        code, _, _ = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert code == 0
+
+    def test_new_findings_not_covered_by_baseline(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\nrandom.random()\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli([str(tmp_path), "--write-baseline", str(baseline)])
+        (tmp_path / "worse.py").write_text("import random\nrandom.shuffle([1])\n")
+        code, out, _ = run_cli([str(tmp_path), "--baseline", str(baseline)])
+        assert code == 1
+        assert "worse.py" in out
+
+    def test_invalid_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 7}))
+        with pytest.raises(LintInternalError, match="version-1"):
+            Baseline.load(str(bad))
+
+    def test_render_is_stable(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("import random\nrandom.random()\n")
+        result = lint_paths(["."], root=str(tmp_path))
+        assert Baseline.render(result.findings) == Baseline.render(result.findings)
+
+
+class TestOutputStability:
+    def test_json_output_is_byte_identical_across_runs(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(
+            "import random, time\nrandom.random()\nt = time.time()\n"
+        )
+        first = run_cli([str(tmp_path), "--format", "json"])
+        second = run_cli([str(tmp_path), "--format", "json"])
+        assert first == second
+        payload = json.loads(first[1])
+        assert payload["version"] == 1
+        assert payload["count"] == len(payload["findings"]) == 1
+
+    def test_findings_sorted_by_position(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "a.py").write_text("import random\nrandom.random()\n")
+        _, out, _ = run_cli([str(tmp_path), "--format", "json"])
+        paths = [f["path"] for f in json.loads(out)["findings"]]
+        assert paths == sorted(paths)
+
+    def test_list_rules_names_every_rule(self):
+        code, out, _ = run_cli(["--list-rules"])
+        assert code == 0
+        for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                        "CON001", "CON002"):
+            assert rule_id in out
+
+
+class TestFixturePackage:
+    def test_lock_cycle_fixture_is_caught_on_disk(self):
+        code, out, _ = run_cli([FIXTURES, "--select", "CON001"])
+        assert code == 1
+        assert "lock_cycle.py" in out
+        assert "call_chain_cycle.py" in out
+        assert "consistent_order.py" not in out
+
+    def test_fixtures_excluded_from_default_surface(self):
+        # The default surface never descends into tests/, so the
+        # deliberate fixtures cannot fail a repo-wide run.
+        assert "tests" not in DEFAULT_PATHS
+        files = discover_files(DEFAULT_PATHS, root=REPO_ROOT)
+        assert not any("tests" + os.sep in f for f in files)
+
+
+class TestWholeRepoClean:
+    def test_default_surface_lints_clean_with_no_baseline(self):
+        # The shipped tree carries zero waivers: every true positive is
+        # fixed, every deliberate exception has an inline reason.
+        code, out, err = run_cli(["--root", REPO_ROOT, "--format", "json"])
+        payload = json.loads(out)
+        assert payload["findings"] == [], out
+        assert code == 0
+        assert payload["files_checked"] > 100

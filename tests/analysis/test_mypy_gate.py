@@ -1,0 +1,29 @@
+"""The mypy strict gate, run through the same config CI uses.
+
+Skips cleanly when mypy is not installed (it is a CI-only dependency;
+see ``requirements-ci.txt``) so the tier-1 suite stays runnable from a
+bare numpy/pytest environment.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def test_strict_modules_type_check():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"mypy strict gate failed:\n{proc.stdout}\n{proc.stderr}"
+    )
