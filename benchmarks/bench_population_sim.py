@@ -10,8 +10,11 @@ population.
 Quick mode (default) times the naive loop on a subsample and
 extrapolates per-session cost; ``REPRO_FULL=1`` runs the naive loop
 over the whole population.  The pool always runs every session.
+Writes ``benchmarks/results/population_sim.json`` (and ``.csv``) for
+the perf-trajectory artifact (``scripts/bench_trajectory.py``).
 """
 
+import json
 import os
 import time
 
@@ -58,6 +61,17 @@ def test_population_sim_speedup(benchmark, results_dir):
     print()
     print(report.to_text())
 
+    payload = {
+        "n_sessions": N_SESSIONS,
+        "n_naive": n_naive,
+        "naive_sessions_per_sec": 1.0 / naive_per_session,
+        "pool_sessions_per_sec": report.sessions_per_sec,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+    }
+    with open(os.path.join(results_dir, "population_sim.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
     write_csv(
         os.path.join(results_dir, "population_sim.csv"),
         ["n_sessions", "naive_sessions_per_sec", "pool_sessions_per_sec", "speedup"],

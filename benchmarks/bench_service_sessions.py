@@ -22,6 +22,7 @@ import time
 
 from conftest import run_once
 
+from repro import obs
 from repro.experiments import write_csv
 from repro.market.market import Market
 from repro.service import MarketPool, MarketSpec, SessionManager, SessionSpec
@@ -30,6 +31,11 @@ from repro.utils.rng import spawn
 N_SESSIONS = 60
 SEED = 0
 SPEEDUP_FLOOR = 5.0
+#: The obs layer's contract on the session hot path (see
+#: ``src/repro/obs/metrics.py``): instrumentation may cost at most 5%.
+OVERHEAD_CEILING = 0.05
+N_OVERHEAD = 30
+OVERHEAD_ROUNDS = 3
 
 
 def _spec() -> MarketSpec:
@@ -72,12 +78,33 @@ def test_service_session_throughput(benchmark, results_dir):
     managed_per_session = managed_elapsed / N_SESSIONS
     speedup = naive_per_session / managed_per_session
 
+    # Instrumented-overhead check: the same managed workload with the
+    # metrics registry on vs off, interleaved pairs, best-of-N each so
+    # a background-load blip cannot fake (or mask) a regression.
+    enabled_times: list[float] = []
+    disabled_times: list[float] = []
+    for _ in range(OVERHEAD_ROUNDS):
+        t0 = time.perf_counter()
+        _run_managed(N_OVERHEAD)
+        enabled_times.append(time.perf_counter() - t0)
+        obs.REGISTRY.set_enabled(False)
+        try:
+            t0 = time.perf_counter()
+            _run_managed(N_OVERHEAD)
+            disabled_times.append(time.perf_counter() - t0)
+        finally:
+            obs.REGISTRY.set_enabled(True)
+    overhead = min(enabled_times) / min(disabled_times) - 1.0
+
     print()
     print(f"naive deployment: {n_naive} sessions in {naive_elapsed:.2f}s "
           f"({1.0 / naive_per_session:.2f} sessions/s; market built per session)")
     print(f"SessionManager  : {N_SESSIONS} sessions in {managed_elapsed:.2f}s "
           f"({1.0 / managed_per_session:.2f} sessions/s; one pooled market)")
     print(f"speedup         : {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+    print(f"obs overhead    : {overhead * 100:+.2f}% on the managed path "
+          f"(ceiling {OVERHEAD_CEILING * 100:.0f}%; metrics on vs off, "
+          f"best of {OVERHEAD_ROUNDS})")
 
     payload = {
         "n_sessions": N_SESSIONS,
@@ -87,6 +114,8 @@ def test_service_session_throughput(benchmark, results_dir):
         "speedup": speedup,
         "floor": SPEEDUP_FLOOR,
         "accepted": sum(o.accepted for o in managed),
+        "instrumented_overhead": overhead,
+        "overhead_ceiling": OVERHEAD_CEILING,
     }
     with open(os.path.join(results_dir, "service_sessions.json"), "w",
               encoding="utf-8") as fh:
@@ -106,3 +135,8 @@ def test_service_session_throughput(benchmark, results_dir):
         assert managed[run].payment == outcome.payment
     # ...and beat it by the architectural margin, not a rounding one.
     assert speedup >= SPEEDUP_FLOOR
+    # The obs layer must stay within its hot-path budget.
+    assert overhead <= OVERHEAD_CEILING, (
+        f"instrumentation costs {overhead * 100:.1f}% on the managed "
+        f"session path (ceiling {OVERHEAD_CEILING * 100:.0f}%)"
+    )

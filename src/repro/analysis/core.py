@@ -46,6 +46,16 @@ DIGEST_BEARING_PREFIXES = (
 #: every other module must derive streams through its ``spawn``.
 RNG_MODULE = "src/repro/utils/rng.py"
 
+#: The one module allowed to read the wall clock: every operational
+#: timestamp (span starts, access-log lines, metric exports) routes
+#: through its ``wall_now`` so DET002 can ban wall-clock reads in both
+#: digest-bearing *and* instrumented (obs-importing) modules.
+CLOCK_MODULE = "src/repro/obs/clock.py"
+
+#: The observability package: its own modules, and any module that
+#: imports from it, count as "instrumented" for clock discipline.
+OBS_PREFIX = "src/repro/obs/"
+
 #: Inline suppression: ``# lint: allow[DET001] reason`` (multiple rule
 #: ids comma-separated).  The reason is mandatory — a bare allow is
 #: itself reported (LNT002) and suppresses nothing.
@@ -203,6 +213,27 @@ class ModuleContext:
     def rng_exempt(self) -> bool:
         """Whether this module is the designated RNG construction point."""
         return self.path.endswith("utils/rng.py")
+
+    @property
+    def clock_exempt(self) -> bool:
+        """Whether this module is the designated wall-clock read point."""
+        return self.path.endswith("obs/clock.py")
+
+    @property
+    def instrumented(self) -> bool:
+        """Whether this module is part of, or imports, the obs layer.
+
+        Instrumented modules inherit the wall-clock ban: telemetry is
+        exactly where a stray ``time.time()`` is most tempting and
+        where it would silently undermine digest neutrality, so the
+        only sanctioned read is ``repro.obs.clock.wall_now``.
+        """
+        if OBS_PREFIX.removeprefix("src/") in self.path:
+            return True
+        return any(
+            target == "repro.obs" or target.startswith("repro.obs.")
+            for target in self.aliases.values()
+        )
 
     def call_name(self, node: ast.Call) -> str | None:
         """The call's fully-qualified dotted name, or ``None``."""

@@ -111,27 +111,36 @@ def unseeded_rng(ctx: ModuleContext) -> Iterator[Finding]:
 @register_rule(
     "DET002",
     name="wall-clock",
-    summary="no wall-clock reads in digest-bearing modules",
+    summary="no wall-clock reads in digest-bearing or instrumented modules",
 )
 def wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
-    """Flag wall-clock reads inside digest-bearing modules.
+    """Flag wall-clock reads inside digest-bearing/instrumented modules.
 
     ``market/``, ``simulate/``, ``jobs/`` and ``security/`` feed report
     digests and wire payloads; a ``time.time()`` there is one refactor
-    away from a digest that never reproduces.  Monotonic clocks
-    (``perf_counter``/``monotonic``) remain legal for throughput
-    accounting.
+    away from a digest that never reproduces.  The same ban covers the
+    observability layer and every module that imports it — telemetry
+    needs operational timestamps, and ``repro.obs.clock`` (the sole
+    exemption) is the only sanctioned place to read them.  Monotonic
+    clocks (``perf_counter``/``monotonic``) remain legal for
+    throughput accounting.
     """
-    if not ctx.digest_bearing:
+    if ctx.clock_exempt:
         return
+    if not (ctx.digest_bearing or ctx.instrumented):
+        return
+    where = (
+        "a digest-bearing" if ctx.digest_bearing else "an instrumented"
+    )
     for call in iter_calls(ctx.tree):
         name = ctx.call_name(call)
         if name in WALL_CLOCK_CALLS:
             yield ctx.finding(
                 "DET002", call,
-                f"{name}() is a wall-clock read in a digest-bearing "
-                "module; keep operational timestamps out of digested "
-                "material (monotonic clocks are fine for elapsed time)",
+                f"{name}() is a wall-clock read in {where} module; "
+                "route operational timestamps through "
+                "repro.obs.clock.wall_now (monotonic clocks are fine "
+                "for elapsed time)",
             )
 
 

@@ -31,6 +31,9 @@ Commands
     only the pending chunks, ``status``/``list`` inspect the store.
     The merged report is bit-identical to ``simulate`` for any shard
     count.
+``obs``
+    Pretty-print a live server's telemetry: the ``/v1/metrics``
+    Prometheus exposition, optionally with its recent trace spans.
 ``lint``
     Determinism + concurrency static analysis over the source tree
     (:mod:`repro.analysis`): unseeded RNG, wall-clock in digest-bearing
@@ -59,6 +62,8 @@ Examples
     python -m repro jobs run --sessions 20000 --server http://localhost:8765
     python -m repro jobs resume j0123abcd4567ef89 --store sweeps.sqlite3
     python -m repro serve --port 8765
+    python -m repro simulate --sessions 120 --trace sim-trace.ndjson
+    python -m repro obs --server http://localhost:8765 --traces 10
     python -m repro lint --format json
     python -m repro lint src/repro/service --select CON001,CON002
     python -m repro table 3 --dataset adult
@@ -68,6 +73,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -118,6 +124,32 @@ def _add_client_option(parser: argparse.ArgumentParser) -> None:
                              "(identical report digests either way)")
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    """The trace-capture flag shared by the workload commands."""
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="run the command under a root span and append "
+                             "every finished span to FILE as JSON lines "
+                             "(telemetry only; report digests are unchanged)")
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace, name: str):
+    """Root span + NDJSON sink for a ``--trace FILE`` invocation."""
+    trace = getattr(args, "trace", None)
+    if not trace:
+        yield
+        return
+    from repro import obs
+
+    obs.TRACER.set_sink(trace)
+    try:
+        with obs.span(name, command=name):
+            yield
+    finally:
+        obs.TRACER.set_sink(None)
+        print(f"trace written to {trace}")
+
+
 def _client(args: argparse.Namespace):
     """The MarketplaceClient the command should drive."""
     from repro.client import MarketplaceClient
@@ -158,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_secure_options(bargain)
     _add_oracle_options(bargain)
     _add_client_option(bargain)
+    _add_trace_option(bargain)
 
     def _add_population_options(parser: argparse.ArgumentParser) -> None:
         """Simulation-describing flags shared by simulate and jobs run."""
@@ -192,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_population_options(simulate)
     _add_client_option(simulate)
+    _add_trace_option(simulate)
     simulate.add_argument("--json", default=None, metavar="PATH",
                           help="also dump the report as JSON here")
     simulate.add_argument("--expect-digest", default=None, metavar="HEX",
@@ -232,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fail unless the merged report digest "
                                  "matches (CI guard)")
         _add_client_option(parser)
+        _add_trace_option(parser)
 
     jobs_run = jobs_sub.add_parser(
         "run", help="submit a simulation job and execute it shard-parallel"
@@ -261,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_list = jobs_sub.add_parser("list", help="every recorded job")
     _add_store_option(jobs_list)
     _add_client_option(jobs_list)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect a live server's telemetry (GET /v1/metrics)"
+    )
+    _add_client_option(obs_cmd)
+    obs_cmd.add_argument("--raw", action="store_true",
+                         help="print the raw Prometheus text exposition "
+                              "instead of the pretty summary")
+    obs_cmd.add_argument("--traces", type=int, default=0, metavar="N",
+                         help="also print the server's last N finished "
+                              "trace spans (GET /v1/traces)")
 
     lint = sub.add_parser(
         "lint",
@@ -686,6 +732,73 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return _finish_job_command(record, args.expect_digest)
 
 
+def _parse_prometheus(text: str) -> list[dict]:
+    """Group a Prometheus text exposition into renderable families."""
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base.removesuffix(suffix) in families:
+                base = base.removesuffix(suffix)
+                break
+        return families.setdefault(
+            base, {"name": base, "help": "", "kind": "", "series": []}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            family(name)["help"] = help_text
+        elif line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            family(name)["kind"] = kind
+        elif not line.startswith("#"):
+            sample, _, value = line.rpartition(" ")
+            name = sample.partition("{")[0]
+            family(name)["series"].append((sample, value))
+    return list(families.values())
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if not args.server:
+        raise SystemExit(
+            "repro obs inspects a live deployment; pass --server URL "
+            "(an in-process registry would only describe this one-shot "
+            "CLI process)"
+        )
+    with _client(args) as client:
+        text = client.metrics_text()
+        spans = client.traces(limit=10000) if args.traces > 0 else []
+    if args.raw:
+        print(text, end="")
+    else:
+        print(f"metrics from {args.server}:")
+        for fam in _parse_prometheus(text):
+            if not fam["series"]:
+                continue
+            line = f"\n{fam['name']} ({fam['kind'] or 'untyped'})"
+            if fam["help"]:
+                line += f" — {fam['help']}"
+            print(line)
+            for sample, value in fam["series"]:
+                print(f"  {sample}  {value}")
+    if args.traces > 0:
+        print(f"\nlast {min(args.traces, len(spans))} of {len(spans)} "
+              f"buffered spans:")
+        for record in spans[-args.traces:]:
+            attrs = ",".join(f"{k}={v}" for k, v in
+                             sorted(record.get("attrs", {}).items()))
+            print(f"  seq={record['seq']} {record['name']} "
+                  f"trace={record['trace_id']} "
+                  f"duration={record['duration']:.6f}s"
+                  + (f" [{attrs}]" if attrs else ""))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
@@ -777,13 +890,21 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.command == "bargain":
-        return _cmd_bargain(args)
+        with _tracing(args, "cli:bargain"):
+            return _cmd_bargain(args)
     if args.command == "simulate":
-        return _cmd_simulate(args)
+        with _tracing(args, "cli:simulate"):
+            return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "jobs":
-        return _cmd_jobs(args)
+        with _tracing(args, f"cli:jobs-{args.jobs_command}"):
+            return _cmd_jobs(args)
+    if args.command == "obs":
+        try:
+            return _cmd_obs(args)
+        except BrokenPipeError:
+            return 0  # scrape piped into head/grep closed early
     if args.command == "lint":
         from repro.analysis import main as lint_main
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.client.errors import ServerError, TransportError, error_from_reply
 from repro.client.http import HttpTransport
 from repro.client.local import LocalTransport
@@ -67,9 +68,15 @@ class MarketplaceClient:
     # ------------------------------------------------------------------
     def _call(self, method: str, path: str, *, body: dict | None = None,
               query: dict | None = None, expect: tuple = (200,)) -> dict:
-        status, payload = self.transport.request(
-            method, path, body=body, query=query
-        )
+        # Every call opens a client span: over HTTP the span context
+        # rides the traceparent header, so the server's dispatch span
+        # becomes a child and a remote exchange stitches into one trace.
+        with obs.span(f"client:{method} {path}", method=method,
+                      path=path) as active:
+            status, payload = self.transport.request(
+                method, path, body=body, query=query
+            )
+            active.set(status=status)
         if status not in expect:
             raise error_from_reply(status, payload)
         return payload
@@ -88,6 +95,21 @@ class MarketplaceClient:
     def report(self) -> dict:
         """``GET /v1/report`` — the operator report."""
         return self._call("GET", "/v1/report")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — Prometheus text exposition, verbatim."""
+        status, text = self.transport.request_text("GET", "/v1/metrics")
+        if status != 200:  # pragma: no cover - route cannot fail today
+            raise ServerError(f"GET /v1/metrics returned {status}",
+                              status=status, code="metrics_failed",
+                              detail={"body": text})
+        return text
+
+    def traces(self, *, offset: int = 0, limit: int = 1000) -> list[dict]:
+        """``GET /v1/traces`` — finished spans after ``offset`` (by seq)."""
+        return list(self.transport.stream(
+            "GET", "/v1/traces", query={"offset": offset, "limit": limit},
+        ))
 
     # ------------------------------------------------------------------
     # Markets and sessions
@@ -252,11 +274,12 @@ class MarketplaceClient:
 
             if isinstance(spec, dict):
                 spec = SimulationSpec.from_dict(spec)
-            _, _, local_report = run_simulation(
-                spec,
-                pool=self.transport.ctx.manager.pool,
-                market_spec=market_spec,
-            )
+            with obs.span("simulate:local", sessions=spec.sessions):
+                _, _, local_report = run_simulation(
+                    spec,
+                    pool=self.transport.ctx.manager.pool,
+                    market_spec=market_spec,
+                )
             return local_report
         if market_spec is not None:
             raise ValueError(

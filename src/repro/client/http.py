@@ -35,10 +35,31 @@ import time
 from typing import Iterator
 from urllib.parse import urlencode, urlsplit
 
+from repro import obs
 from repro.client.errors import TransportError, error_from_reply
 from repro.client.transport import Transport
 
 __all__ = ["HttpTransport"]
+
+#: Client-side retry/backoff accounting, one family per concern: how
+#: many replays ran, how often the server's Retry-After hint floored
+#: the backoff, and how long the transport slept in total.  These make
+#: retry pressure observable without tearing open TransportError.
+_RETRY_ATTEMPTS = obs.REGISTRY.counter(
+    "repro_client_retry_attempts_total",
+    "Request replays after a retryable failure or 429/503 refusal.",
+    ("method",),
+)
+_RETRY_AFTER_HONOURED = obs.REGISTRY.counter(
+    "repro_client_retry_after_honoured_total",
+    "Backoff sleeps floored by a server Retry-After hint.",
+    ("method",),
+)
+_RETRY_SLEEP = obs.REGISTRY.counter(
+    "repro_client_retry_sleep_seconds_total",
+    "Total seconds this process slept in transport backoff.",
+    ("method",),
+)
 
 #: Failures that prove the server never received the request — always
 #: safe to retry, whatever the method.
@@ -160,6 +181,15 @@ class HttpTransport(Transport):
             )
         return target
 
+    @staticmethod
+    def _headers() -> dict:
+        """Request headers, propagating the active span context if any."""
+        headers = {"Content-Type": "application/json"}
+        ctx = obs.current()
+        if ctx is not None:
+            headers["traceparent"] = obs.to_traceparent(ctx)
+        return headers
+
     def request(
         self,
         method: str,
@@ -171,6 +201,7 @@ class HttpTransport(Transport):
         blob = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         target = self._target(path, query)
+        headers = self._headers()
         attempts = self.retries + 1
         last: Exception | None = None
         retry_after: float | None = None
@@ -181,16 +212,17 @@ class HttpTransport(Transport):
                 step = self.backoff * (2 ** (attempt - 1))
                 delay = step / 2 + random.random() * step / 2  # lint: allow[DET001] backoff jitter is deliberately nondeterministic and never reaches digested material
                 if retry_after is not None:
+                    if retry_after >= delay:
+                        _RETRY_AFTER_HONOURED.inc(method=method)
                     delay = max(delay, retry_after)
+                _RETRY_ATTEMPTS.inc(method=method)
+                _RETRY_SLEEP.inc(delay, method=method)
                 time.sleep(delay)
             retry_after = None
             sent = False
             try:
                 conn = self._connection()
-                conn.request(
-                    method, target, body=blob,
-                    headers={"Content-Type": "application/json"},
-                )
+                conn.request(method, target, body=blob, headers=headers)
                 sent = True
                 response = conn.getresponse()
                 raw = response.read()
@@ -236,6 +268,29 @@ class HttpTransport(Transport):
         )
 
     # ------------------------------------------------------------------
+    def request_text(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: dict | None = None,
+    ) -> tuple[int, str]:
+        try:
+            conn = self._connection()
+            conn.request(method, self._target(path, query),
+                         headers=self._headers())
+            response = conn.getresponse()
+            raw = response.read()
+        except Exception as exc:
+            self._drop()
+            raise TransportError(
+                f"{method} {self.base_url}{path} (text) failed: {exc}"
+            ) from exc
+        if response.will_close:
+            self._drop()
+        return response.status, raw.decode("utf-8")
+
+    # ------------------------------------------------------------------
     def stream(
         self,
         method: str,
@@ -251,7 +306,7 @@ class HttpTransport(Transport):
             conn = self._connect()
             conn.request(
                 method, self._target(path, query), body=blob,
-                headers={"Content-Type": "application/json"},
+                headers=self._headers(),
             )
             response = conn.getresponse()
         except Exception as exc:

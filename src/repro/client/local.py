@@ -82,6 +82,18 @@ class LocalTransport(Transport):
             raise error_from_reply(reply.status, _wire(reply.payload))
         return (_wire(item) for item in reply.payload)
 
+    def request_text(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: dict | None = None,
+    ) -> tuple[int, str]:
+        reply = dispatch(self.ctx, method, path, query=_stringify(query))
+        if isinstance(reply.payload, str):
+            return reply.status, reply.payload
+        return reply.status, json.dumps(reply.payload)
+
 
 def _stringify(query: dict | None) -> dict | None:
     """Query parameters exactly as an HTTP server would see them."""

@@ -58,6 +58,21 @@ class Transport:
         """
         raise NotImplementedError
 
+    def request_text(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: dict | None = None,
+    ) -> tuple[int, str]:
+        """Perform one request returning the raw body as text.
+
+        For the one non-JSON route (``GET /v1/metrics``, Prometheus
+        text exposition); errors still arrive as ``(status, text)``
+        with the JSON envelope serialised in ``text``.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any held connections (idempotent)."""
 

@@ -29,6 +29,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 import numpy as np
 
+from repro import obs
 from repro.jobs.store import JobRecord, JobStore
 from repro.service.specs import BatchSpec, SimulationSpec
 from repro.simulate.pool import session_record_arrays
@@ -44,6 +45,22 @@ __all__ = [
     "submit_batch",
     "submit_simulation",
 ]
+
+#: Chunk lifecycle telemetry: every transition a chunk makes through
+#: the executor (queued at run start, running on dispatch, done on
+#: durable record; failed is job-level) plus worker-reported chunk
+#: runtimes.  Coordinator-side only — worker processes keep their own
+#: registries, which the remote executor surfaces per worker.
+_CHUNK_EVENTS = obs.REGISTRY.counter(
+    "repro_job_chunk_events_total",
+    "Job chunk lifecycle transitions, by job kind.",
+    ("kind", "event"),
+)
+_CHUNK_SECONDS = obs.REGISTRY.histogram(
+    "repro_job_chunk_seconds",
+    "Worker-reported chunk execution time (monotonic, seconds).",
+    ("kind",),
+)
 
 #: Fields of a simulation chunk payload that are per-session arrays —
 #: derived from the shared layout so the wire format cannot drift from
@@ -327,6 +344,8 @@ class ShardedExecutor:
             return record
         pending = self.store.pending_chunks(job_id)
         self.store.set_status(job_id, "running")
+        if pending:
+            _CHUNK_EVENTS.inc(len(pending), kind=record.kind, event="queued")
         runner = _CHUNK_RUNNERS[record.kind]
         try:
             interrupted = self._run_pending(job_id, record, runner, pending)
@@ -337,6 +356,7 @@ class ShardedExecutor:
         except Exception as exc:
             # A job must never be stranded in "running": chunk *and*
             # merge failures both surface through the store.
+            _CHUNK_EVENTS.inc(kind=record.kind, event="failed")
             self.store.set_status(job_id, "failed", error=repr(exc))
             raise
 
@@ -357,16 +377,19 @@ class ShardedExecutor:
                     index, start, stop = queue.pop(0)
                     futures[pool.submit(runner, record.spec, start, stop)] = index
                     dispatched += 1
+                    _CHUNK_EVENTS.inc(kind=record.kind, event="running")
                 if not futures:
                     break
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = futures.pop(future)
                     payload = future.result()  # raises -> run() marks failed
+                    elapsed = float(payload.get("elapsed", 0.0))
                     self.store.record_chunk(
-                        job_id, index, payload,
-                        elapsed=float(payload.get("elapsed", 0.0)),
+                        job_id, index, payload, elapsed=elapsed,
                     )
+                    _CHUNK_EVENTS.inc(kind=record.kind, event="done")
+                    _CHUNK_SECONDS.observe(elapsed, kind=record.kind)
                 if (self._stopped() or dispatched >= budget) and queue:
                     # Stop dispatching; drain what's already in flight.
                     queue.clear()

@@ -34,11 +34,36 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
+from repro import obs
 from repro.jobs.executor import ShardedExecutor
 from repro.jobs.store import JobStore
 from repro.utils.validation import require
 
 __all__ = ["RemoteShardExecutor"]
+
+#: Per-worker chunk accounting: ``done`` chunks were recorded durably,
+#: ``lost`` chunks rode a worker that died mid-chunk and were re-queued.
+_REMOTE_CHUNKS = obs.REGISTRY.counter(
+    "repro_remote_chunks_total",
+    "Chunk POSTs per worker URL, by result.",
+    ("worker", "result"),
+)
+
+
+def _attached(ctx, fn, *args):
+    """Run ``fn`` with the sweep's span context attached.
+
+    Pool threads do not inherit the coordinator's contextvars, so the
+    root trace id must be re-attached inside the submitted callable for
+    each chunk's client span (and the worker's server-side spans, via
+    the traceparent header) to stitch into one trace.
+    """
+    token = obs.attach(ctx) if ctx is not None else None
+    try:
+        return fn(*args)
+    finally:
+        if token is not None:
+            obs.detach(token)
 
 
 class RemoteShardExecutor(ShardedExecutor):
@@ -111,7 +136,10 @@ class RemoteShardExecutor(ShardedExecutor):
         queue = list(pending)
         dispatched = 0
         try:
-            with ThreadPoolExecutor(max_workers=len(self.workers)) as pool:
+            with obs.span("job:remote-sweep", job=job_id, kind=record.kind,
+                          workers=len(self.workers)), \
+                    ThreadPoolExecutor(max_workers=len(self.workers)) as pool:
+                root = obs.current()  # every chunk's span joins this trace
                 futures: dict = {}
                 while queue or futures:
                     while (
@@ -124,7 +152,7 @@ class RemoteShardExecutor(ShardedExecutor):
                         chunk = queue.pop(0)
                         index, start, stop = chunk
                         future = pool.submit(
-                            clients[url].run_chunk,
+                            _attached, root, clients[url].run_chunk,
                             record.kind, record.spec, start, stop,
                         )
                         futures[future] = (url, chunk)
@@ -141,6 +169,7 @@ class RemoteShardExecutor(ShardedExecutor):
                             # lost but nothing is corrupted: re-queue
                             # the chunk for the survivors and drop the
                             # worker for the rest of this run.
+                            _REMOTE_CHUNKS.inc(worker=url, result="lost")
                             clients[url].close()
                             queue.insert(0, chunk)
                             dispatched -= 1
@@ -152,6 +181,7 @@ class RemoteShardExecutor(ShardedExecutor):
                             job_id, chunk[0], payload,
                             elapsed=float(payload.get("elapsed", 0.0)),
                         )
+                        _REMOTE_CHUNKS.inc(worker=url, result="done")
                         idle.append(url)
                     if (self._stopped() or dispatched >= budget) and queue:
                         # Stop dispatching; drain what's in flight.

@@ -1,0 +1,67 @@
+"""Zero-dependency observability: metrics, tracing, access logs.
+
+The platform's runtime telemetry lives here and nowhere else:
+
+* :data:`REGISTRY` — the process-global metrics registry (counters,
+  gauges, fixed-bucket histograms; labeled families; byte-stable
+  snapshots; Prometheus text exposition via ``GET /v1/metrics``).
+* :data:`TRACER` / :func:`span` — cross-host request tracing with
+  ``traceparent`` propagation, a bounded in-memory ring served by
+  ``GET /v1/traces`` and an optional NDJSON file sink (``--trace``).
+* :func:`log_access` — the structured access log both HTTP servers
+  share.
+
+The hard rule threaded through every instrument: telemetry is
+**digest-neutral**.  No value originating here — timestamps, ids,
+durations, counts — may reach a report digest, a spec, or digested
+wire material; the sole wall-clock read lives in
+:mod:`repro.obs.clock`, which the determinism lint (DET002) registers
+as the only exemption.
+"""
+
+from repro.obs.access import access_line, log_access
+from repro.obs.clock import wall_now
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    TRACER,
+    Span,
+    SpanContext,
+    Tracer,
+    attach,
+    current,
+    detach,
+    from_traceparent,
+    span,
+    to_traceparent,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanContext",
+    "TRACEPARENT_HEADER",
+    "TRACER",
+    "Tracer",
+    "access_line",
+    "attach",
+    "current",
+    "detach",
+    "from_traceparent",
+    "log_access",
+    "span",
+    "to_traceparent",
+    "wall_now",
+]

@@ -1,0 +1,47 @@
+"""Structured access logging shared by both HTTP servers.
+
+One logfmt-style line per request — route, status, duration and trace
+id — replacing the servers' previous ad-hoc ``print``/stdlib
+``log_message`` output.  Lines go through the library logger
+(``repro.obs.access``) at INFO and, when the server runs ``--verbose``,
+are also printed so operators see traffic without configuring logging.
+"""
+
+from __future__ import annotations
+
+from repro.utils.log import get_logger
+
+__all__ = ["access_line", "log_access"]
+
+_LOGGER = get_logger("repro.obs.access")
+
+
+def access_line(
+    method: str,
+    path: str,
+    status: int,
+    duration: float,
+    trace_id: str | None = None,
+) -> str:
+    """Render one access-log line (logfmt key/value pairs)."""
+    return (
+        f"method={method} path={path} status={status} "
+        f"duration_ms={duration * 1000.0:.2f} trace={trace_id or '-'}"
+    )
+
+
+def log_access(
+    method: str,
+    path: str,
+    status: int,
+    duration: float,
+    trace_id: str | None = None,
+    *,
+    verbose: bool = False,
+) -> str:
+    """Record one request: always logged, printed when ``verbose``."""
+    line = access_line(method, path, status, duration, trace_id)
+    _LOGGER.info(line)
+    if verbose:
+        print(line)
+    return line

@@ -1,0 +1,29 @@
+"""The platform's single sanctioned wall-clock read.
+
+Telemetry wants human-meaningful timestamps (a span's start time, a
+scrape's export time), but wall-clock reads are banned everywhere a
+value could leak into digested material (DET002) — two runs of the
+same job must produce byte-identical reports.  The compromise is one
+chokepoint: every wall-clock read in the tree routes through
+:func:`wall_now`, the lint rule registers this module as the sole
+exemption, and nothing returned from here may reach a digest, a spec,
+or a wire payload that feeds one.  Durations everywhere else come from
+monotonic clocks (``time.perf_counter``), which stay legal by rule.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_now"]
+
+
+def wall_now() -> float:
+    """Seconds since the epoch — operational timestamps only.
+
+    Never digest this value: it is different on every run by
+    construction.  It exists for span records, access-log lines and
+    metric exports, all of which are explicitly outside the
+    bit-identity contract.
+    """
+    return time.time()  # lint: allow[DET002] sole sanctioned wall-clock read; values never reach digested material

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.data.partition import PartitionedDataset
 from repro.market.bundle import FeatureBundle
 from repro.market.oracle import PerformanceOracle, repeat_course_seeds
@@ -38,6 +39,20 @@ from repro.utils.validation import require
 from repro.vfl.runner import resolve_model_params, run_vfl
 
 __all__ = ["BuildReport", "CourseRunner", "build_oracle", "resolve_jobs"]
+
+#: Build telemetry: course-level cache effectiveness and end-to-end
+#: build latency.  Mirrors the per-build :class:`CacheStats`/
+#: :class:`BuildReport` accounting as process-lifetime aggregates a
+#: scrape can watch.
+_CACHE_COURSES = obs.REGISTRY.counter(
+    "repro_oracle_cache_courses_total",
+    "Course lookups against the persistent gain cache, by result.",
+    ("result",),
+)
+_BUILD_SECONDS = obs.REGISTRY.histogram(
+    "repro_oracle_build_seconds",
+    "End-to-end build_oracle latency (monotonic, seconds).",
+)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -346,4 +361,10 @@ def build_oracle(
     report.cache_stats = stats
     report.elapsed = time.perf_counter() - start
     oracle.build_report = report
+    if stats is not None:
+        if stats.hits:
+            _CACHE_COURSES.inc(stats.hits, result="hit")
+        if stats.misses:
+            _CACHE_COURSES.inc(stats.misses, result="miss")
+    _BUILD_SECONDS.observe(report.elapsed)
     return oracle, report

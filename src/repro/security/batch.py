@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.market.pricing import QuotedPrice
 from repro.security.paillier import (
     FLOAT_SCALE,
@@ -87,6 +89,18 @@ _GAIN_MANT_MAX = 10 * FLOAT_SCALE
 _GAIN_OFFSET = 2 * FLOAT_SCALE
 
 _DEFAULT_BLIND_RANGE = (1.0, 1000.0)
+
+#: Settlement telemetry (monotonic timings only — this module is
+#: digest-bearing, and settled payments must stay bit-identical with
+#: metrics on or off).
+_SETTLE_SECONDS = obs.REGISTRY.histogram(
+    "repro_secure_settle_seconds",
+    "Batched Paillier settle() latency per call (monotonic, seconds).",
+)
+_SETTLED_SESSIONS = obs.REGISTRY.counter(
+    "repro_secure_settled_sessions_total",
+    "Sessions whose payments were settled under encryption.",
+)
 
 
 def _quantise(value: float) -> int:
@@ -447,6 +461,7 @@ class SecureSettlement:
         """Batched secure payments for accepted sessions, in order."""
         if not gains:
             return []
+        t0 = time.perf_counter()
         with self._lock:  # the pool's RNG draw is shared mutable state
             payments = secure_payment_batch(
                 gains, quotes, self.public_key, self.private_key,
@@ -455,6 +470,8 @@ class SecureSettlement:
                 pool=self.pool,
             )
             self.settled_sessions += len(gains)
+        _SETTLE_SECONDS.observe(time.perf_counter() - t0)
+        _SETTLED_SESSIONS.inc(len(gains))
         return payments
 
 

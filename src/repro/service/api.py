@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.service.manager import (
     SessionConflictError,
     SessionLimitError,
@@ -48,6 +49,7 @@ __all__ = [
     "ApiReply",
     "ERROR_CODES",
     "JobService",
+    "METRICS_CONTENT_TYPE",
     "ROUTES",
     "Route",
     "ServiceContext",
@@ -56,6 +58,25 @@ __all__ = [
 ]
 
 API_VERSION = "v1"
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Per-route request accounting, recorded at the dispatch chokepoint so
+#: every transport (threaded HTTP, asyncio HTTP, LocalTransport) feeds
+#: the same families.  The route label is the matched *template*
+#: (`/v1/sessions/{session_id}`), never the raw path, so cardinality
+#: stays bounded.
+_REQUESTS = obs.REGISTRY.counter(
+    "repro_requests_total",
+    "Requests dispatched through the /v1 route table.",
+    ("method", "route", "status"),
+)
+_REQUEST_LATENCY = obs.REGISTRY.histogram(
+    "repro_request_duration_seconds",
+    "Dispatch latency per route (monotonic, seconds).",
+    ("method", "route"),
+)
 
 #: Terminal job statuses: the event stream ends when one is reached.
 _TERMINAL = ("done", "failed", "interrupted")
@@ -447,6 +468,78 @@ def _get_job_events(ctx, params, body, query) -> Iterator[dict]:
     return events()
 
 
+def _get_metrics(ctx, params, body, query):
+    """Prometheus text exposition of the process-global registry.
+
+    The one non-JSON route in the table: the handler returns a complete
+    :class:`ApiReply` whose payload is the rendered text and whose
+    ``Content-Type`` both servers (and ``LocalTransport``) honour by
+    writing the string verbatim.
+    """
+    _ensure_instrumented_imports()
+    _bridge_report_gauges(ctx)
+    return ApiReply(
+        obs.REGISTRY.render_prometheus(),
+        200,
+        headers={"Content-Type": METRICS_CONTENT_TYPE},
+    )
+
+
+def _ensure_instrumented_imports() -> None:
+    """Import every instrumented module so its families are registered.
+
+    Metric families register at module import time; a scrape must
+    expose the full catalogue (with empty series) even on a process
+    that has not yet touched every code path — dashboards key on
+    family names existing before traffic does.
+    """
+    import repro.client.http  # noqa: F401
+    import repro.jobs.executor  # noqa: F401
+    import repro.jobs.remote  # noqa: F401
+    import repro.oracle_factory.factory  # noqa: F401
+    import repro.security.batch  # noqa: F401
+    import repro.simulate.pool  # noqa: F401
+
+
+def _bridge_report_gauges(ctx: "ServiceContext") -> None:
+    """Refresh registry gauges from the manager's counters at scrape time."""
+    report = ctx.manager.report()
+    sessions = report["sessions"]
+    gauge = obs.REGISTRY.gauge(
+        "repro_sessions",
+        "Session pool occupancy by state (resident/active).",
+        ("state",),
+    )
+    gauge.set(sessions["resident"], state="resident")
+    gauge.set(sessions["active"], state="active")
+    lifecycle = obs.REGISTRY.counter(
+        "repro_sessions_lifecycle_total",
+        "Session lifecycle events since process start.",
+        ("event",),
+    )
+    for event in ("opened", "closed", "evicted"):
+        # Counters are monotonic: bridge by topping up to the manager's
+        # authoritative tally (scrapes may interleave with lifecycle).
+        delta = sessions[event] - lifecycle.value(event=event)
+        if delta > 0:
+            lifecycle.inc(delta, event=event)
+    obs.REGISTRY.gauge(
+        "repro_markets_pooled", "Markets resident in the process pool."
+    ).set(len(report["markets"]))
+
+
+def _get_traces(ctx, params, body, query) -> Iterator[dict]:
+    """Finished spans as JSON lines, paginated by record sequence."""
+    offset = _int_query(query, "offset", 0, 0)
+    limit = _int_query(query, "limit", 1000, 1, 10000)
+    records = obs.TRACER.spans(offset=offset, limit=limit)
+
+    def lines() -> Iterator[dict]:
+        yield from records
+
+    return lines()
+
+
 def _post_chunk(ctx, params, body, query):
     """Execute one job chunk in this process — the worker protocol.
 
@@ -470,7 +563,11 @@ def _post_chunk(ctx, params, body, query):
             and 0 <= start < stop):
         raise ApiError(400, "invalid_request",
                        "start/stop must be ints with 0 <= start < stop")
-    return CHUNK_RUNNERS[kind](spec, start, stop)
+    # The chunk span parents under the dispatch span, which itself
+    # parents under the coordinator's traceparent — so a remote sweep's
+    # chunk spans all carry the coordinator's root trace id.
+    with obs.span(f"chunk:{kind}", kind=kind, start=start, stop=stop):
+        return CHUNK_RUNNERS[kind](spec, start, stop)
 
 
 # ----------------------------------------------------------------------
@@ -594,6 +691,22 @@ ROUTES: tuple[Route, ...] = (
                    "stop": "chunk stop index (exclusive)"},
           response="The chunk result payload, exactly as a process-pool "
                    "shard would record it."),
+    Route("GET", "/v1/metrics", _get_metrics, 200,
+          "Process metrics in Prometheus text exposition format — the "
+          "one non-JSON route.",
+          response="`text/plain; version=0.0.4`: request, coalesce, "
+                   "cache, job-chunk, session and settlement families "
+                   "from the process-global registry."),
+    Route("GET", "/v1/traces", _get_traces, 200,
+          "Finished trace spans as JSON lines (NDJSON), paginated by "
+          "record sequence number.",
+          query={"offset": "return spans with `seq` greater than this "
+                           "(default 0; pass the last seen `seq`)",
+                 "limit": "maximum spans to return, 1..10000 "
+                          "(default 1000)"},
+          response="JSON lines: `{name, trace_id, span_id, parent_id, "
+                   "start, duration, attrs, seq}` per span.",
+          streaming=True),
 )
 
 _COMPILED = tuple((route, _compile(route.path)) for route in ROUTES)
@@ -645,27 +758,64 @@ def dispatch(
     ``body`` is the parsed JSON object (transports own body-level
     errors: 411/413/invalid JSON); ``query`` maps parameter names to
     their raw string values.
+
+    Dispatch is the transport-independent chokepoint, so telemetry
+    lives here: every request opens a span (parented under whatever
+    context the transport attached from an incoming ``traceparent``)
+    and lands in the per-route request counter and latency histogram,
+    labeled by the matched route *template*.
     """
+    t0 = time.perf_counter()
+    with obs.span("dispatch", method=method) as active:
+        reply, route_label = _dispatch_matched(ctx, method, path, body, query)
+        active.set(route=route_label, status=reply.status)
+    _REQUESTS.inc(method=method, route=route_label, status=reply.status)
+    _REQUEST_LATENCY.observe(
+        time.perf_counter() - t0, method=method, route=route_label
+    )
+    return reply
+
+
+def _dispatch_matched(
+    ctx: ServiceContext,
+    method: str,
+    path: str,
+    body: dict | None,
+    query: dict | None,
+) -> tuple[ApiReply, str]:
+    """(reply, route template) for one request; errors become envelopes."""
+    route_label = "unmatched"
     try:
         route, params = _match(method, path)
+        route_label = route.path
         payload = route.handler(ctx, params, body or {}, query or {})
-        return ApiReply(payload, route.status, streaming=route.streaming)
+        if isinstance(payload, ApiReply):
+            return payload, route_label
+        return ApiReply(payload, route.status, streaming=route.streaming), \
+            route_label
     except ApiError as exc:
-        return ApiReply(exc.envelope(), exc.status)
+        return ApiReply(exc.envelope(), exc.status), route_label
     except SessionConflictError as exc:
-        return ApiReply(error_envelope("conflict", str(exc)), 409)
+        return ApiReply(error_envelope("conflict", str(exc)), 409), route_label
     except SessionLimitError as exc:
-        return ApiReply(error_envelope("capacity", str(exc)), 429)
+        return ApiReply(error_envelope("capacity", str(exc)), 429), route_label
     except (ValueError, TypeError) as exc:  # spec/body validation
         # TypeError covers wrong-typed spec fields (e.g. a string
         # n_bundles failing a numeric comparison) — still a 400,
         # not a dropped connection.
-        return ApiReply(error_envelope("invalid_request", str(exc)), 400)
+        return (
+            ApiReply(error_envelope("invalid_request", str(exc)), 400),
+            route_label,
+        )
     except KeyError as exc:  # unknown session/job
-        return ApiReply(
-            error_envelope("not_found", str(exc).strip("'\"")), 404
+        return (
+            ApiReply(error_envelope("not_found", str(exc).strip("'\"")), 404),
+            route_label,
         )
     except Exception as exc:  # pragma: no cover - handler bugs
-        return ApiReply(
-            error_envelope("internal", f"{type(exc).__name__}: {exc}"), 500
+        return (
+            ApiReply(
+                error_envelope("internal", f"{type(exc).__name__}: {exc}"), 500
+            ),
+            route_label,
         )

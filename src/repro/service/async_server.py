@@ -35,9 +35,11 @@ import asyncio
 import json
 import re
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from repro import obs
 from repro.service.api import (
     JobService,
     ServiceContext,
@@ -373,21 +375,37 @@ class AsyncMarketplaceServer:
             await writer.drain()
             return False
 
+        t0 = time.perf_counter()
+        remote = obs.from_traceparent(headers.get("traceparent"))
+
+        def run_dispatch():
+            # Runs on a worker-pool thread, whose execution context does
+            # not inherit the coroutine's contextvars — the remote span
+            # context must be re-attached here, inside the callable.
+            token = obs.attach(remote) if remote is not None else None
+            try:
+                return dispatch(self.ctx, method, path, body=body,
+                                query=query)
+            finally:
+                if token is not None:
+                    obs.detach(token)
+
         assert self._loop is not None
         if self._inline_eligible(method, path, body):
             # ``dispatch`` never raises — errors come back as envelope
             # replies — so running it right on the loop is safe, and for
             # these sub-millisecond handlers it saves the executor
             # round-trip that otherwise dominates the request.
-            reply = dispatch(self.ctx, method, path, body=body, query=query)
+            reply = run_dispatch()
         else:
             reply = await self._loop.run_in_executor(
-                self._executor,
-                lambda: dispatch(self.ctx, method, path, body=body,
-                                 query=query),
+                self._executor, run_dispatch
             )
-        if self.verbose:  # pragma: no cover - operator logging
-            print(f"{method} {path} -> {reply.status}")
+        obs.log_access(
+            method, path, reply.status, time.perf_counter() - t0,
+            remote.trace_id if remote is not None else None,
+            verbose=self.verbose,
+        )
         if reply.streaming:
             await self._write_stream(writer, reply.payload)
             return False  # chunked replies own their connection
@@ -491,16 +509,25 @@ class AsyncMarketplaceServer:
     def _write(self, writer: asyncio.StreamWriter, status: int,
                payload: object, *, headers: dict | None = None,
                close: bool = False) -> None:
-        blob = json.dumps(payload).encode("utf-8")
+        extra = dict(headers or {})
+        if isinstance(payload, str):
+            # Raw-text reply (the /v1/metrics Prometheus exposition):
+            # the handler owns the bytes and the content type.
+            blob = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type",
+                                     "text/plain; charset=utf-8")
+        else:
+            blob = json.dumps(payload).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
             f"Server: {_SERVER_HEADER}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(blob)}",
         ]
         if close:
             head.append("Connection: close")
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             head.append(f"{name}: {value}")
         writer.write("\r\n".join(head).encode("utf-8") + b"\r\n\r\n" + blob)
 

@@ -45,6 +45,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.market.engine import BargainingEngine, BargainOutcome, EngineState
 from repro.market.market import Market
 from repro.service.specs import MarketSpec, SessionSpec
@@ -57,6 +58,25 @@ __all__ = [
     "SessionManager",
     "shared_pool",
 ]
+
+
+#: Micro-batching telemetry: sweep cadence, how many requests each
+#: sweep drained (1 = the window closed empty-handed), and how long
+#: each leader was parked before its first drain.  Purely operational —
+#: coalescing cannot change outcomes, so none of this is digested.
+_SWEEPS = obs.REGISTRY.counter(
+    "repro_coalesce_sweeps_total",
+    "Coalesced step/run sweeps executed by batch leaders.",
+)
+_GROUP_SIZE = obs.REGISTRY.histogram(
+    "repro_coalesce_group_size",
+    "Requests drained per coalesced sweep (1 = singleton).",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+)
+_LEADER_WAIT = obs.REGISTRY.histogram(
+    "repro_coalesce_leader_wait_seconds",
+    "Window a batch leader waited before sweeping (monotonic).",
+)
 
 
 class SessionLimitError(RuntimeError):
@@ -465,7 +485,9 @@ class SessionManager:
     def _lead(self, queue: _MarketQueue) -> None:
         """Leader duty: wait the window, then sweep the queue dry."""
         try:
+            t0 = time.perf_counter()
             time.sleep(self.coalesce_window)
+            _LEADER_WAIT.observe(time.perf_counter() - t0)
             while True:
                 with queue.lock:
                     group = queue.pending[: self.batch_limit]
@@ -494,15 +516,18 @@ class SessionManager:
             if len(group) > 1:
                 self._coalesced += len(group)
             self._largest_sweep = max(self._largest_sweep, len(group))
-        for request in group:
-            try:
-                request.result = self._execute(
-                    request.session, request.rounds, request.until_done
-                )
-            except BaseException as exc:
-                request.error = exc
-            finally:
-                request.event.set()
+        _SWEEPS.inc()
+        _GROUP_SIZE.observe(float(len(group)))
+        with obs.span("manager:sweep", group=len(group)):
+            for request in group:
+                try:
+                    request.result = self._execute(
+                        request.session, request.rounds, request.until_done
+                    )
+                except BaseException as exc:
+                    request.error = exc
+                finally:
+                    request.event.set()
 
     def status(self, session_id: str) -> dict:
         """The session's current (possibly terminal) status.

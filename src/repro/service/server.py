@@ -55,9 +55,11 @@ from __future__ import annotations
 import argparse
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from repro import obs
 from repro.service.api import (
     ApiError,
     JobService,
@@ -113,8 +115,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.server.ctx  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: object) -> None:
-        if getattr(self.server, "verbose", False):  # pragma: no cover
-            super().log_message(format, *args)
+        # Silenced: every request (including legacy and body-level
+        # errors) emits one structured access line from _handle via
+        # repro.obs.log_access; the stdlib line would duplicate it.
+        return
 
     # ------------------------------------------------------------------
     # Body parsing: 411/413 are transport-level protocol errors
@@ -173,17 +177,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Replies
     # ------------------------------------------------------------------
-    def _reply(self, payload: dict, status: int = 200,
+    def _reply(self, payload: object, status: int = 200,
                headers: dict | None = None) -> None:
-        blob = json.dumps(payload).encode("utf-8")
+        extra = dict(headers or {})
+        if isinstance(payload, str):
+            # Raw-text reply (the /v1/metrics Prometheus exposition):
+            # the handler owns the bytes and the content type.
+            blob = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type",
+                                     "text/plain; charset=utf-8")
+        else:
+            blob = json.dumps(payload).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         if self.close_connection:
             # Announce it: a silent close would strand keep-alive
             # clients on a dead connection.
             self.send_header("Connection", "close")
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
@@ -209,9 +222,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # Dispatch
     # ------------------------------------------------------------------
     def _handle(self, method: str) -> None:
+        t0 = time.perf_counter()
         parsed = urlsplit(self.path)
         path, query = parsed.path, dict(parse_qsl(parsed.query))
+        remote = obs.from_traceparent(self.headers.get("traceparent"))
+        status = self._process(method, path, query, remote)
+        obs.log_access(
+            method, path, status, time.perf_counter() - t0,
+            remote.trace_id if remote is not None else None,
+            verbose=getattr(self.server, "verbose", False),
+        )
 
+    def _process(self, method: str, path: str, query: dict,
+                 remote: "obs.SpanContext | None") -> int:
         home = legacy_location(path)
         if home is not None:
             # Deprecation envelope: GETs are redirected (stdlib clients
@@ -230,17 +253,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     301,
                     headers={"Location": home},
                 )
-            else:
-                self._reply(
-                    error_envelope(
-                        "gone",
-                        f"unversioned routes were removed; "
-                        f"{method} {home} instead",
-                        {"location": home},
-                    ),
-                    410,
-                )
-            return
+                return 301
+            self._reply(
+                error_envelope(
+                    "gone",
+                    f"unversioned routes were removed; "
+                    f"{method} {home} instead",
+                    {"location": home},
+                ),
+                410,
+            )
+            return 410
 
         try:
             body = self._body()
@@ -249,13 +272,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             # connection cannot carry another request.
             self.close_connection = True
             self._reply(exc.envelope(), exc.status)
-            return
+            return exc.status
 
-        reply = dispatch(self.ctx, method, path, body=body, query=query)
+        # Attach the client's span context (if it sent one) so the
+        # dispatch span parents across the process boundary.
+        token = obs.attach(remote) if remote is not None else None
+        try:
+            reply = dispatch(self.ctx, method, path, body=body, query=query)
+        finally:
+            if token is not None:
+                obs.detach(token)
         if reply.streaming:
             self._reply_stream(reply.payload, reply.status)
         else:
             self._reply(reply.payload, reply.status, headers=reply.headers)
+        return reply.status
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._handle("GET")

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.market.engine import BargainOutcome
 from repro.market.oracle import MemoisedOracle
 from repro.simulate.kernel import (
@@ -40,6 +41,24 @@ from repro.simulate.population import Population
 from repro.utils.validation import require
 
 __all__ = ["PoolResult", "SessionPool", "session_record_arrays"]
+
+#: Run-granularity pool telemetry.  Deliberately coarse (one update per
+#: :meth:`SessionPool.run`, never per session) so the instrumented
+#: overhead stays unmeasurable against a population sweep.
+_POOL_SESSIONS = obs.REGISTRY.counter(
+    "repro_pool_sessions_total",
+    "Sessions played to termination, by execution path.",
+    ("path",),
+)
+_POOL_RUN_SECONDS = obs.REGISTRY.histogram(
+    "repro_pool_run_seconds",
+    "SessionPool.run() latency per call (monotonic, seconds).",
+)
+_POOL_ORACLE = obs.REGISTRY.counter(
+    "repro_pool_oracle_queries_total",
+    "Stepwise-path platform queries, by memoisation result.",
+    ("result",),
+)
 
 
 def session_record_arrays(n: int) -> dict[str, np.ndarray]:
@@ -190,6 +209,16 @@ class SessionPool:
             self._settle_secure(arrays)
 
         elapsed = time.perf_counter() - t0
+        if kernel_idx.size:
+            _POOL_SESSIONS.inc(int(kernel_idx.size), path="kernel")
+        if stepped_idx.size:
+            _POOL_SESSIONS.inc(int(stepped_idx.size), path="stepwise")
+        if oracle.hit_count:
+            _POOL_ORACLE.inc(oracle.hit_count, result="hit")
+        if oracle.query_count - oracle.hit_count:
+            _POOL_ORACLE.inc(oracle.query_count - oracle.hit_count,
+                             result="miss")
+        _POOL_RUN_SECONDS.observe(elapsed)
         return PoolResult(
             **arrays,
             kernel_sessions=int(kernel_idx.size),

@@ -65,6 +65,35 @@ class TestDET002WallClock:
         src = "import time\na = time.perf_counter()\nb = time.monotonic()\n"
         assert rules(src, path=DIGEST_PATH) == []
 
+    def test_naked_wall_clock_in_instrumented_module_fires(self):
+        # A module that imports the obs layer inherits the ban: the
+        # only sanctioned wall-clock read is repro.obs.clock.wall_now.
+        src = (
+            "import time\n"
+            "from repro.obs import REGISTRY\n"
+            "t = time.time()\n"
+        )
+        findings = lint_source(src, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["DET002"]
+        assert "instrumented" in findings[0].message
+        assert "repro.obs.clock.wall_now" in findings[0].message
+
+    def test_obs_package_modules_are_instrumented(self):
+        src = "import time\nt = time.time()\n"
+        assert rules(src, path="src/repro/obs/trace.py") == ["DET002"]
+
+    def test_obs_clock_is_the_sole_wall_clock_exemption(self):
+        src = "import time\n\ndef wall_now():\n    return time.time()\n"
+        assert rules(src, path="src/repro/obs/clock.py") == []
+
+    def test_importing_obs_submodule_also_instruments(self):
+        src = (
+            "from repro.obs.metrics import REGISTRY\n"
+            "from datetime import datetime\n"
+            "t = datetime.now()\n"
+        )
+        assert rules(src, path=PLAIN_PATH) == ["DET002"]
+
 
 class TestDET003RawDigestSerialisation:
     def test_raw_dumps_in_digest_module_flagged(self):

@@ -282,6 +282,48 @@ class TestRetryableStatuses:
             server.shutdown()
             server.server_close()
 
+    def test_retry_accounting_metrics(self):
+        """Retries surface as client-side counters: attempts, honoured
+        Retry-After hints, and total backoff sleep."""
+        from repro.client.http import (
+            _RETRY_AFTER_HONOURED,
+            _RETRY_ATTEMPTS,
+            _RETRY_SLEEP,
+        )
+
+        attempts0 = _RETRY_ATTEMPTS.value(method="POST")
+        honoured0 = _RETRY_AFTER_HONOURED.value(method="POST")
+        sleep0 = _RETRY_SLEEP.value(method="POST")
+        # A large Retry-After (capped fraction of a second via a tiny
+        # backoff) always floors the jittered delay -> honoured.
+        server, calls = _status_server([(503, {"Retry-After": "0.05"})])
+        try:
+            status, _ = self._transport(server, backoff=0.001).request(
+                "POST", "/v1/sessions", body={}
+            )
+            assert status == 200 and len(calls) == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert _RETRY_ATTEMPTS.value(method="POST") == attempts0 + 1
+        assert _RETRY_AFTER_HONOURED.value(method="POST") == honoured0 + 1
+        assert _RETRY_SLEEP.value(method="POST") >= sleep0 + 0.05
+
+    def test_plain_backoff_does_not_count_retry_after(self):
+        from repro.client.http import _RETRY_AFTER_HONOURED, _RETRY_ATTEMPTS
+
+        attempts0 = _RETRY_ATTEMPTS.value(method="GET")
+        honoured0 = _RETRY_AFTER_HONOURED.value(method="GET")
+        server, calls = _status_server([(429, {})])
+        try:
+            status, _ = self._transport(server).request("GET", "/v1/health")
+            assert status == 200 and len(calls) == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert _RETRY_ATTEMPTS.value(method="GET") == attempts0 + 1
+        assert _RETRY_AFTER_HONOURED.value(method="GET") == honoured0
+
     def test_backoff_is_jittered_equal_style(self, monkeypatch):
         """Each delay lands in [step/2, step] for step = backoff * 2^n:
         half deterministic, half random, so refused fleets spread out."""

@@ -1,0 +1,144 @@
+"""Metrics registry: instrument semantics, exports, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("hits_total", "hits", ("route",))
+        c.inc(route="/a")
+        c.inc(2.5, route="/a")
+        assert c.value(route="/a") == 3.5
+        assert c.value(route="/b") == 0.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("hits_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("hits_total", "hits", ("route",))
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc(status="200")
+
+    def test_get_or_create_returns_same_family(self, registry):
+        a = registry.counter("hits_total", "hits", ("route",))
+        b = registry.counter("hits_total")
+        assert a is b
+
+    def test_kind_clash_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("occupancy", "resident sessions")
+        g.set(4)
+        g.add(-1)
+        assert g.value() == 3.0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative_on_export(self, registry):
+        h = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = registry.snapshot()["lat"]["series"][""]
+        assert snap["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 3]]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("h", buckets=(1.0, 0.1))
+
+    def test_time_context_manager_observes(self, registry):
+        h = registry.histogram("t", buckets=(10.0,))
+        with h.time():
+            pass
+        assert h.count() == 1
+
+
+class TestDisable:
+    def test_disabled_registry_records_nothing(self, registry):
+        c = registry.counter("c_total")
+        registry.set_enabled(False)
+        c.inc()
+        registry.set_enabled(True)
+        assert c.value() == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_byte_stable(self, registry):
+        import json
+
+        c = registry.counter("req_total", "requests", ("route", "status"))
+        c.inc(route="/b", status="200")
+        c.inc(route="/a", status="500")
+        first = json.dumps(registry.snapshot(), sort_keys=True)
+        # Recording order must not leak: same state, same bytes.
+        second = json.dumps(registry.snapshot(), sort_keys=True)
+        assert first == second
+        assert '"route=/a,status=500"' in first
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self, registry):
+        c = registry.counter("req_total", "requests served", ("route",))
+        c.inc(3, route="/v1/health")
+        registry.gauge("occ", "occupancy").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP req_total requests served" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="/v1/health"} 3' in text
+        assert "occ 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_shape(self, registry):
+        h = registry.histogram("lat", "latency", buckets=(0.5,))
+        h.observe(0.1)
+        h.observe(2.0)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2.1" in text
+        assert "lat_count 2" in text
+
+    def test_label_values_escaped(self, registry):
+        c = registry.counter("c_total", "", ("p",))
+        c.inc(p='a"b\\c')
+        assert 'p="a\\"b\\\\c"' in registry.render_prometheus()
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("z_total").inc()
+        registry.counter("a_total").inc()
+        text = registry.render_prometheus()
+        assert text.index("a_total") < text.index("z_total")
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("n_total")
+        n_threads, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == n_threads * per_thread
