@@ -1,0 +1,274 @@
+"""Work stealing on a heterogeneous fleet: lease queue vs static split.
+
+The claim under test: with three workers of which one is **4x slower**,
+the fleet's lease-based queue completes a sweep **>= 1.5x** faster than
+static round-robin chunk assignment — the fast workers pull the queue
+dry while the slow one plods, instead of idling behind a fixed split —
+and both modes merge to a report digest **bit-identical** to the
+single-process :func:`~repro.service.run_simulation` reference.
+
+Worker heterogeneity is modelled by a per-chunk service delay (the
+same knob ``repro serve --join`` exposes as ``REPRO_FLEET_THROTTLE``),
+so the measured gap is purely the scheduling policy, not compute noise.
+
+A third phase re-asserts the digest under the crash drill: a real
+``repro serve`` coordinator subprocess is killed with ``SIGKILL``
+mid-sweep, restarted on the same store, and the resumed fleet job must
+still reach the reference digest while the (never-restarted) agents
+ride out the outage on their retry loops.
+
+Writes ``benchmarks/results/fleet_steal.json`` (and ``.csv``) for the
+CI artifact; the trajectory fold picks it up under ``extras``.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from conftest import run_once
+
+from repro.client import MarketplaceClient, TransportError
+from repro.experiments import write_csv
+from repro.fleet.agent import FleetAgent
+from repro.fleet.executor import FleetExecutor
+from repro.fleet.manager import FleetManager
+from repro.jobs import JobStore
+from repro.jobs.executor import (
+    CHUNK_RUNNERS,
+    ShardedExecutor,
+    submit_simulation,
+)
+from repro.service import SimulationSpec, run_simulation
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SPEC = SimulationSpec(sessions=120, seed=11, batch_size=32)
+CHUNKS = 12
+#: Per-chunk service delay, seconds: one slow worker, two fast.
+FAST_DELAY = 0.15
+SLOW_DELAY = 0.6  # the 4x-slower worker
+DELAYS = (SLOW_DELAY, FAST_DELAY, FAST_DELAY)
+SPEEDUP_FLOOR = 1.5
+
+
+def _run_static(store_path: str):
+    """Static assignment: chunks pre-split round-robin, no stealing.
+
+    Each worker thread serially executes its fixed share with its
+    service delay — the sweep ends when the *slow* worker finishes its
+    last pre-assigned chunk, however long the fast ones sat idle.
+    """
+    store = JobStore(store_path)
+    record = submit_simulation(store, SPEC, chunks=CHUNKS)
+    pending = store.pending_chunks(record.job_id)
+
+    def work(chunks, delay):
+        for index, start, stop in chunks:
+            payload = CHUNK_RUNNERS[record.kind](record.spec, start, stop)
+            time.sleep(delay)
+            store.record_chunk(record.job_id, index, payload, elapsed=delay)
+
+    threads = [
+        threading.Thread(target=work, args=(pending[i::len(DELAYS)], delay))
+        for i, delay in enumerate(DELAYS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # All chunks recorded: run() goes straight to the merge.
+    return ShardedExecutor(store, shards=1).run(record.job_id)
+
+
+def _run_fleet(store_path: str):
+    """Lease queue: the same three workers pull whenever they are free."""
+    store = JobStore(store_path)
+    fleet = FleetManager(store, lease_ttl=30.0, heartbeat_ttl=30.0)
+    record = submit_simulation(store, SPEC, chunks=CHUNKS)
+    done = threading.Event()
+
+    def work(url, delay):
+        wid = fleet.register(url)["worker"]
+        while not done.is_set():
+            lease = fleet.lease(wid)["lease"]
+            if lease is None:
+                time.sleep(0.01)
+                continue
+            payload = CHUNK_RUNNERS[lease["kind"]](
+                lease["spec"], lease["start"], lease["stop"]
+            )
+            time.sleep(delay)
+            fleet.complete(wid, lease["job"], lease["chunk"], payload,
+                           elapsed=delay)
+
+    threads = [
+        threading.Thread(target=work, args=(f"http://bench-{i}.test", delay),
+                         daemon=True)
+        for i, delay in enumerate(DELAYS)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        return FleetExecutor(store, fleet=fleet, poll=0.02).run(record.job_id)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Coordinator kill -9 / restart drill (real subprocess)
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_coordinator(port: int, store_path: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--job-store", store_path],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_healthy(url: str, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with MarketplaceClient.connect(url, retries=0,
+                                           timeout=5) as client:
+                client.healthz()
+                return
+        except TransportError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _run_kill_drill(store_path: str, reference: str) -> float:
+    """kill -9 the coordinator mid-sweep; restart; resume to the digest.
+
+    Returns the wall seconds from first submit to resumed completion.
+    """
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    coordinator = _spawn_coordinator(port, store_path)
+    agents = [
+        FleetAgent(url, f"http://drill-{i}.test", poll=0.05,
+                   heartbeat_interval=0.2, throttle=delay)
+        for i, delay in enumerate(DELAYS)
+    ]
+    restarted = None
+    t0 = time.perf_counter()
+    try:
+        _wait_healthy(url)
+        for agent in agents:
+            agent.start()
+        with MarketplaceClient.connect(url) as client:
+            job_id = client.submit_simulation(SPEC, chunks=CHUNKS,
+                                              fleet=True)["job"]
+            deadline = time.monotonic() + 120
+            while client.job(job_id)["chunks_done"] < 1:
+                assert time.monotonic() < deadline, "no chunk before kill"
+                time.sleep(0.05)
+
+        # Mid-sweep, hard: no drain, no goodbye.
+        os.kill(coordinator.pid, signal.SIGKILL)
+        coordinator.wait()
+
+        # Same port, same store — the agents never stopped and ride the
+        # outage out on their retry loops; the fresh coordinator adopts
+        # them from their next heartbeat.
+        restarted = _spawn_coordinator(port, store_path)
+        _wait_healthy(url)
+        with MarketplaceClient.connect(url) as client:
+            partial = client.job(job_id)
+            assert partial["chunks_done"] < partial["chunks"], \
+                "kill landed after the sweep finished; nothing resumed"
+            client.resume_job(job_id, fleet=True)
+            final = client.wait_job(job_id, timeout=120)
+            assert final["status"] == "done", final
+            assert final["digest"] == reference, (
+                f"drill digest {final['digest']} != reference {reference}"
+            )
+            workers = client.fleet_status()["workers"]
+            assert len(workers) == len(DELAYS)
+        return time.perf_counter() - t0
+    finally:
+        for agent in agents:
+            agent.stop(deregister=False, timeout=2)
+        for proc in (coordinator, restarted):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=30)
+
+
+def test_fleet_steal_beats_static_assignment(benchmark, results_dir,
+                                             tmp_path):
+    reference = run_simulation(SPEC)[2].digest()
+
+    t0 = time.perf_counter()
+    static_record = _run_static(str(tmp_path / "static.sqlite3"))
+    static_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fleet_record = run_once(
+        benchmark, _run_fleet, str(tmp_path / "fleet.sqlite3")
+    )
+    fleet_elapsed = time.perf_counter() - t0
+
+    speedup = static_elapsed / fleet_elapsed
+    drill_elapsed = _run_kill_drill(str(tmp_path / "drill.sqlite3"),
+                                    reference)
+
+    print()
+    print(f"static split ({len(DELAYS)} workers, one {SLOW_DELAY / FAST_DELAY:.0f}x slower): "
+          f"{CHUNKS} chunks in {static_elapsed:.2f}s")
+    print(f"lease stealing: {CHUNKS} chunks in {fleet_elapsed:.2f}s")
+    print(f"speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR:.1f}x)")
+    print(f"kill -9/restart drill resumed to the reference digest in "
+          f"{drill_elapsed:.2f}s")
+
+    payload = {
+        "sessions": SPEC.sessions,
+        "chunks": CHUNKS,
+        "workers": len(DELAYS),
+        "slow_factor": SLOW_DELAY / FAST_DELAY,
+        "static_elapsed": static_elapsed,
+        "fleet_elapsed": fleet_elapsed,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+        "drill_elapsed": drill_elapsed,
+        "digest": reference,
+    }
+    with open(os.path.join(results_dir, "fleet_steal.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    write_csv(
+        os.path.join(results_dir, "fleet_steal.csv"),
+        ["chunks", "workers", "slow_factor", "static_elapsed",
+         "fleet_elapsed", "speedup"],
+        [[CHUNKS], [len(DELAYS)], [payload["slow_factor"]],
+         [static_elapsed], [fleet_elapsed], [speedup]],
+    )
+
+    # Correctness is unconditional: every mode merges bit-identically.
+    assert static_record.status == "done"
+    assert static_record.digest == reference
+    assert fleet_record.status == "done"
+    assert fleet_record.digest == reference
+    # The scheduling claim: stealing wins on a heterogeneous fleet.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"lease stealing only {speedup:.2f}x faster than static "
+        f"assignment (floor {SPEEDUP_FLOOR:.1f}x)"
+    )

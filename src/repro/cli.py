@@ -258,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "ship chunks to these hosts over /v1/chunks "
                                  "instead of local processes (the merged "
                                  "report is still identical)")
+        parser.add_argument("--fleet", action="store_true",
+                            help="run through the fleet lease queue: joined "
+                                 "workers (`repro serve --join`) pull the "
+                                 "chunks instead of this process executing "
+                                 "them (the merged report is still "
+                                 "identical)")
         parser.add_argument("--max-chunks", type=int, default=None,
                             metavar="K",
                             help="stop after K chunks this invocation, "
@@ -296,6 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_list = jobs_sub.add_parser("list", help="every recorded job")
     _add_store_option(jobs_list)
     _add_client_option(jobs_list)
+
+    fleet = sub.add_parser(
+        "fleet", help="inspect a coordinator's elastic worker fleet"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="workers, active leases, and queue depth "
+                       "(GET /v1/fleet)"
+    )
+    _add_client_option(fleet_status)
 
     obs_cmd = sub.add_parser(
         "obs", help="inspect a live server's telemetry (GET /v1/metrics)"
@@ -652,13 +668,16 @@ def _cmd_jobs_remote(args: argparse.Namespace) -> int:
             if args.jobs_command == "run":
                 spec = _simulation_spec(args)
                 submitted = client.submit_simulation(
-                    spec, shards=args.shards, chunks=args.chunks
+                    spec, shards=args.shards, chunks=args.chunks,
+                    fleet=args.fleet,
                 )
+                where = "fleet queue" if args.fleet else args.server
                 print(f"submitted job {submitted['job']} "
-                      f"({submitted['chunks']} chunks, on {args.server})")
+                      f"({submitted['chunks']} chunks, on {where})")
                 job_id = submitted["job"]
             else:  # resume
-                client.resume_job(args.job_id, shards=args.shards)
+                client.resume_job(args.job_id, shards=args.shards,
+                                  fleet=args.fleet)
                 job_id = args.job_id
             # Server-side jobs can legitimately run for hours; the wait
             # mirrors the local executor's behaviour (block until done).
@@ -679,11 +698,18 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.jobs import RemoteShardExecutor, ShardedExecutor
 
     workers = getattr(args, "workers", None)
+    fleet = getattr(args, "fleet", False)
     if args.server and workers:
         raise SystemExit(
             "--server and --workers are mutually exclusive: --server runs "
             "the job on that deployment's own store, --workers fans this "
             "process's job across remote chunk executors"
+        )
+    if workers and fleet:
+        raise SystemExit(
+            "--workers and --fleet are mutually exclusive: --workers "
+            "pushes chunks to a static host list, --fleet lets joined "
+            "workers pull them from the lease queue"
         )
     if args.server:
         return _cmd_jobs_remote(args)
@@ -706,7 +732,14 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             _print_job_report(record)
         return 0
 
-    if workers:
+    if fleet:
+        # Coordinate through the shared store file: a `repro serve
+        # --job-store` process on the same path serves the lease routes,
+        # so this CLI invocation only watches the queue drain and merges.
+        from repro.fleet import FleetExecutor
+
+        executor = FleetExecutor(store, max_chunks=args.max_chunks)
+    elif workers:
         executor = RemoteShardExecutor(
             store, workers.split(","), max_chunks=args.max_chunks
         )
@@ -717,7 +750,8 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if args.jobs_command == "run":
         spec = _simulation_spec(args)
         record = executor.submit(spec, chunks=args.chunks)
-        where = (f"workers {workers}" if workers
+        where = ("fleet queue" if fleet
+                 else f"workers {workers}" if workers
                  else f"{args.shards or 'all'} shards")
         print(f"submitted job {record.job_id} "
               f"({record.n_chunks} chunks, {where}, "
@@ -815,7 +849,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_async=args.use_async,
         http_workers=args.http_workers,
         verbose=args.verbose,
+        join=args.join,
+        capacity=args.capacity,
+        worker_url=args.worker_url,
+        lease_ttl=args.lease_ttl,
+        heartbeat_ttl=args.heartbeat_ttl,
     )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet status`` — the coordinator's elastic-worker view."""
+    if not args.server:
+        raise SystemExit(
+            "repro fleet status inspects a live coordinator; pass "
+            "--server URL"
+        )
+    with _client(args) as client:
+        status = client.fleet_status()
+    workers = status["workers"]
+    leases = status["leases"]
+    print(f"fleet at {args.server}: {len(workers)} worker(s), "
+          f"{len(leases)} active lease(s), queue depth {status['queue']} "
+          f"(lease_ttl {status['lease_ttl']}s, "
+          f"heartbeat_ttl {status['heartbeat_ttl']}s)")
+    for row in workers:
+        load = row.get("load") or {}
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted(row.get("labels", {}).items()))
+        print(f"  {row['worker']} {row['status']:<5} {row['url']} "
+              f"capacity={row['capacity']} "
+              f"load={load.get('chunks', '?')} chunk(s)"
+              + (f" [{labels}]" if labels else ""))
+    for lease in leases:
+        print(f"  lease {lease['job']}#{lease['chunk']} -> "
+              f"{lease['worker']} (deadline {lease['deadline']:.0f})")
+    return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -900,6 +968,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "jobs":
         with _tracing(args, f"cli:jobs-{args.jobs_command}"):
             return _cmd_jobs(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "obs":
         try:
             return _cmd_obs(args)

@@ -166,13 +166,20 @@ class MarketplaceClient:
     # Jobs
     # ------------------------------------------------------------------
     def submit_simulation(self, spec, *, shards: int | None = None,
-                          chunks: int | None = None) -> dict:
-        """``POST /v1/simulations`` — submit a durable sharded job."""
+                          chunks: int | None = None,
+                          fleet: bool = False) -> dict:
+        """``POST /v1/simulations`` — submit a durable sharded job.
+
+        ``fleet=True`` routes the job through the coordinator's lease
+        queue so joined fleet workers pull its chunks.
+        """
         body = _as_dict(spec)
         if shards is not None:
             body = {**body, "shards": shards}
         if chunks is not None:
             body = {**body, "chunks": chunks}
+        if fleet:
+            body = {**body, "fleet": True}
         return self._call("POST", "/v1/simulations", body=body,
                           expect=(202,))
 
@@ -197,9 +204,14 @@ class MarketplaceClient:
             if after is None:
                 return
 
-    def resume_job(self, job_id: str, *, shards: int | None = None) -> dict:
+    def resume_job(self, job_id: str, *, shards: int | None = None,
+                   fleet: bool = False) -> dict:
         """``POST /v1/jobs/{id}/resume`` — restart pending chunks."""
-        body = {"shards": shards} if shards is not None else {}
+        body: dict = {}
+        if shards is not None:
+            body["shards"] = shards
+        if fleet:
+            body["fleet"] = True
         return self._call("POST", f"/v1/jobs/{job_id}/resume", body=body,
                           expect=(202,))
 
@@ -249,6 +261,58 @@ class MarketplaceClient:
             body={"kind": kind, "spec": spec,
                   "start": int(start), "stop": int(stop)},
         )
+
+    # ------------------------------------------------------------------
+    # The fleet protocol (worker side of the lease queue)
+    # ------------------------------------------------------------------
+    def register_worker(self, url: str, *, capacity: int = 1,
+                        labels: dict | None = None) -> dict:
+        """``POST /v1/workers`` — register (or re-adopt) a worker."""
+        body: dict = {"url": url, "capacity": int(capacity)}
+        if labels:
+            body["labels"] = dict(labels)
+        return self._call("POST", "/v1/workers", body=body, expect=(201,))
+
+    def worker_heartbeat(self, worker_id: str, *,
+                         load: dict | None = None) -> dict:
+        """``POST /v1/workers/{id}/heartbeat`` — record this worker's
+        pulse (404 means: re-register)."""
+        body: dict = {}
+        if load is not None:
+            body["load"] = load
+        return self._call("POST", f"/v1/workers/{worker_id}/heartbeat",
+                          body=body)
+
+    def lease_chunk(self, worker_id: str) -> dict:
+        """``POST /v1/workers/{id}/lease`` — pull one chunk lease
+        (``{"lease": None}`` when the queue is empty)."""
+        return self._call("POST", f"/v1/workers/{worker_id}/lease", body={})
+
+    def complete_chunk(self, worker_id: str, job_id: str, chunk: int,
+                       result: dict, *, elapsed: float = 0.0) -> dict:
+        """``POST /v1/workers/{id}/complete`` — deliver a chunk result."""
+        return self._call(
+            "POST", f"/v1/workers/{worker_id}/complete",
+            body={"job": job_id, "chunk": int(chunk), "result": result,
+                  "elapsed": float(elapsed)},
+        )
+
+    def fail_chunk(self, worker_id: str, job_id: str, chunk: int,
+                   error: str) -> dict:
+        """``POST /v1/workers/{id}/complete`` with ``error`` — report a
+        chunk that raised (fails the job)."""
+        return self._call(
+            "POST", f"/v1/workers/{worker_id}/complete",
+            body={"job": job_id, "chunk": int(chunk), "error": str(error)},
+        )
+
+    def deregister_worker(self, worker_id: str) -> dict:
+        """``DELETE /v1/workers/{id}`` — graceful goodbye."""
+        return self._call("DELETE", f"/v1/workers/{worker_id}")
+
+    def fleet_status(self) -> dict:
+        """``GET /v1/fleet`` — workers, active leases, queue depth."""
+        return self._call("GET", "/v1/fleet")
 
     # ------------------------------------------------------------------
     # High level

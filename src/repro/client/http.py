@@ -170,6 +170,17 @@ class HttpTransport(Transport):
         with self._conn_lock:
             conns, self._conns = list(self._conns), set()
         for conn in conns:
+            # close() alone does not wake a peer thread blocked in
+            # recv() on this socket (the fd stays referenced until the
+            # read returns); shutdown() interrupts it immediately, which
+            # is what lets RemoteShardExecutor abandon a hung worker
+            # without waiting out the socket timeout.
+            sock = getattr(conn, "sock", None)
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
             conn.close()
 
     # ------------------------------------------------------------------

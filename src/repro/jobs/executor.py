@@ -24,6 +24,7 @@ as they land, so a crashed run resumes from its last finished chunk.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
@@ -311,9 +312,9 @@ class ShardedExecutor:
         store: JobStore,
         *,
         shards: int = 2,
-        stop_event=None,
+        stop_event: threading.Event | None = None,
         max_chunks: int | None = None,
-    ):
+    ) -> None:
         import os
 
         require(isinstance(shards, int) and shards >= 0,

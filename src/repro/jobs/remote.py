@@ -16,6 +16,11 @@ Fault model (the kill/resume drill CI runs):
   surfaces as a :class:`~repro.client.errors.TransportError`; the
   executor marks that worker lost, re-queues the chunk, and carries on
   with the survivors;
+* a worker that *hangs* while its connection stays open never errors —
+  so every in-flight chunk also carries a client-side wall deadline
+  (``chunk_timeout``, measured with :func:`repro.obs.wall_now`); past
+  it the chunk is re-queued for the survivors, the worker is dropped,
+  and a late result from it is never recorded;
 * when no workers are left the run stops ``interrupted`` — finished
   chunks are already durable, so a later :meth:`run` (same or
   different worker fleet) executes only the pending ones;
@@ -31,18 +36,21 @@ as a local shard exception would.
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable
 
 from repro import obs
 from repro.jobs.executor import ShardedExecutor
-from repro.jobs.store import JobStore
+from repro.jobs.store import JobRecord, JobStore
 from repro.utils.validation import require
 
 __all__ = ["RemoteShardExecutor"]
 
 #: Per-worker chunk accounting: ``done`` chunks were recorded durably,
-#: ``lost`` chunks rode a worker that died mid-chunk and were re-queued.
+#: ``lost`` chunks rode a worker that died mid-chunk, ``timeout`` chunks
+#: rode a worker that hung past the wall deadline; both are re-queued.
 _REMOTE_CHUNKS = obs.REGISTRY.counter(
     "repro_remote_chunks_total",
     "Chunk POSTs per worker URL, by result.",
@@ -50,7 +58,11 @@ _REMOTE_CHUNKS = obs.REGISTRY.counter(
 )
 
 
-def _attached(ctx, fn, *args):
+def _attached(
+    ctx: "obs.SpanContext | None",
+    fn: Callable[..., dict[str, object]],
+    *args: object,
+) -> dict[str, object]:
     """Run ``fn`` with the sweep's span context attached.
 
     Pool threads do not inherit the coordinator's contextvars, so the
@@ -81,6 +93,12 @@ class RemoteShardExecutor(ShardedExecutor):
     stop_event / max_chunks:
         As on :class:`ShardedExecutor` — graceful drain and the
         deterministic mid-run stop used by tests and CI drills.
+    chunk_timeout:
+        Client-side wall deadline per in-flight chunk, in seconds
+        (default :data:`CHUNK_TIMEOUT`).  A worker that exceeds it is
+        treated exactly like a dead one — chunk re-queued, worker
+        dropped — even though its socket is still connected; this is
+        the only defence against a hung-but-reachable worker.
     client_options:
         Extra keyword arguments for each worker's
         :class:`~repro.client.http.HttpTransport` (``timeout``,
@@ -92,10 +110,11 @@ class RemoteShardExecutor(ShardedExecutor):
         store: JobStore,
         workers: list[str],
         *,
-        stop_event=None,
+        stop_event: threading.Event | None = None,
         max_chunks: int | None = None,
-        client_options: dict | None = None,
-    ):
+        chunk_timeout: float | None = None,
+        client_options: dict[str, object] | None = None,
+    ) -> None:
         workers = [str(w).rstrip("/") for w in workers]
         require(len(workers) >= 1, "need at least one worker URL")
         require(len(set(workers)) == len(workers),
@@ -103,31 +122,45 @@ class RemoteShardExecutor(ShardedExecutor):
         super().__init__(store, shards=len(workers), stop_event=stop_event,
                          max_chunks=max_chunks)
         self.workers = workers
+        self.chunk_timeout = float(
+            chunk_timeout if chunk_timeout is not None else self.CHUNK_TIMEOUT
+        )
+        require(self.chunk_timeout > 0, "chunk_timeout must be > 0")
         self.client_options = dict(client_options or {})
 
     # ------------------------------------------------------------------
-    #: Default socket timeout for chunk POSTs.  A chunk is a synchronous
-    #: remote computation, not an RPC — the transport's 60s default
-    #: would misread any long chunk as a dead worker and strand the job
-    #: in a drop/re-queue/interrupt loop.
+    #: Default per-chunk wall deadline, doubling as the socket timeout
+    #: for chunk POSTs.  A chunk is a synchronous remote computation,
+    #: not an RPC — the transport's 60s default would misread any long
+    #: chunk as a dead worker and strand the job in a
+    #: drop/re-queue/interrupt loop.
     CHUNK_TIMEOUT = 3600.0
 
-    def _clients(self) -> dict:
+    def _clients(self) -> dict[str, object]:
         from repro.client import MarketplaceClient
 
-        options = {"timeout": self.CHUNK_TIMEOUT, **self.client_options}
+        options: dict[str, object] = {
+            "timeout": self.chunk_timeout, **self.client_options
+        }
         return {
             url: MarketplaceClient.connect(url, **options)
             for url in self.workers
         }
 
-    def _run_pending(self, job_id, record, runner, pending) -> bool:
+    def _run_pending(
+        self,
+        job_id: str,
+        record: JobRecord,
+        runner: object,
+        pending: list[tuple[int, int, int]],
+    ) -> bool:
         """Ship pending chunks to workers; True if stopped before all ran.
 
         ``runner`` (the local chunk function) is unused — workers
         resolve ``record.kind`` against the same
         :data:`~repro.jobs.executor.CHUNK_RUNNERS` table server-side.
         """
+        from repro.client.client import MarketplaceClient
         from repro.client.errors import TransportError
 
         budget = len(pending) if self.max_chunks is None else self.max_chunks
@@ -140,7 +173,13 @@ class RemoteShardExecutor(ShardedExecutor):
                           workers=len(self.workers)), \
                     ThreadPoolExecutor(max_workers=len(self.workers)) as pool:
                 root = obs.current()  # every chunk's span joins this trace
-                futures: dict = {}
+                # future -> (url, chunk, wall deadline).  Deadlines use
+                # the sanctioned wall clock so the hung-worker guard
+                # composes with the determinism lint (DET002).
+                futures: dict[
+                    Future[dict[str, object]],
+                    tuple[str, tuple[int, int, int], float],
+                ] = {}
                 while queue or futures:
                     while (
                         queue
@@ -151,17 +190,30 @@ class RemoteShardExecutor(ShardedExecutor):
                         url = idle.pop(0)
                         chunk = queue.pop(0)
                         index, start, stop = chunk
+                        client = clients[url]
+                        assert isinstance(client, MarketplaceClient)
                         future = pool.submit(
-                            _attached, root, clients[url].run_chunk,
+                            _attached, root, client.run_chunk,
                             record.kind, record.spec, start, stop,
                         )
-                        futures[future] = (url, chunk)
+                        futures[future] = (
+                            url, chunk, obs.wall_now() + self.chunk_timeout
+                        )
                         dispatched += 1
                     if not futures:
                         break
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    # Wake at the earliest in-flight deadline even if
+                    # nothing completes — a hung worker produces no
+                    # event of its own.
+                    horizon = max(
+                        0.0,
+                        min(d for _, _, d in futures.values())
+                        - obs.wall_now(),
+                    )
+                    done, _ = wait(futures, timeout=horizon,
+                                   return_when=FIRST_COMPLETED)
                     for future in done:
-                        url, chunk = futures.pop(future)
+                        url, chunk, _deadline = futures.pop(future)
                         try:
                             payload = future.result()
                         except TransportError:
@@ -170,7 +222,7 @@ class RemoteShardExecutor(ShardedExecutor):
                             # the chunk for the survivors and drop the
                             # worker for the rest of this run.
                             _REMOTE_CHUNKS.inc(worker=url, result="lost")
-                            clients[url].close()
+                            self._close(clients, url)
                             queue.insert(0, chunk)
                             dispatched -= 1
                             continue
@@ -179,10 +231,25 @@ class RemoteShardExecutor(ShardedExecutor):
                         # exception would.
                         self.store.record_chunk(
                             job_id, chunk[0], payload,
-                            elapsed=float(payload.get("elapsed", 0.0)),
+                            elapsed=float(str(payload.get("elapsed", 0.0))),
                         )
                         _REMOTE_CHUNKS.inc(worker=url, result="done")
                         idle.append(url)
+                    now = obs.wall_now()
+                    for future in [f for f, (_, _, d) in futures.items()
+                                   if d <= now]:
+                        # Past the wall deadline with the connection
+                        # still open: a hung worker.  Re-queue the chunk
+                        # and drop the worker; closing its client tears
+                        # the socket down so the blocked pool thread
+                        # errors out instead of leaking, and the future
+                        # is already forgotten — a late result can
+                        # never be recorded.
+                        url, chunk, _deadline = futures.pop(future)
+                        _REMOTE_CHUNKS.inc(worker=url, result="timeout")
+                        self._close(clients, url)
+                        queue.insert(0, chunk)
+                        dispatched -= 1
                     if (self._stopped() or dispatched >= budget) and queue:
                         # Stop dispatching; drain what's in flight.
                         queue.clear()
@@ -191,18 +258,27 @@ class RemoteShardExecutor(ShardedExecutor):
                         # pending: leave the job interrupted/resumable.
                         queue.clear()
         finally:
-            for client in clients.values():
-                client.close()
+            for url in list(clients):
+                self._close(clients, url)
         return self.store.pending_chunks(job_id) != []
 
+    @staticmethod
+    def _close(clients: dict[str, object], url: str) -> None:
+        from repro.client.client import MarketplaceClient
+
+        client = clients.get(url)
+        if isinstance(client, MarketplaceClient):
+            client.close()
+
     # ------------------------------------------------------------------
-    def probe(self, timeout: float = 30.0, poll: float = 0.2) -> dict:
+    def probe(self, timeout: float = 30.0,
+              poll: float = 0.2) -> dict[str, dict[str, object]]:
         """Wait until every worker answers ``/v1/health``; raises on
         timeout.  Returns ``url -> healthz payload``."""
         from repro.client import MarketplaceClient, TransportError
 
         deadline = time.monotonic() + timeout
-        status: dict = {}
+        status: dict[str, dict[str, object]] = {}
         remaining = list(self.workers)
         while remaining:
             url = remaining[0]

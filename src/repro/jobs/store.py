@@ -62,7 +62,36 @@ CREATE TABLE IF NOT EXISTS chunks (
     updated_at  REAL NOT NULL,
     PRIMARY KEY (job_id, chunk_index)
 );
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id      TEXT PRIMARY KEY,
+    url            TEXT NOT NULL,
+    capacity       INTEGER NOT NULL,
+    labels         TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    registered_at  REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    load           TEXT
+);
+CREATE TABLE IF NOT EXISTS leases (
+    job_id      TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    worker_id   TEXT NOT NULL,
+    granted_at  REAL NOT NULL,
+    deadline    REAL NOT NULL,
+    status      TEXT NOT NULL,
+    PRIMARY KEY (job_id, chunk_index)
+);
 """
+
+#: Worker lifecycle as the coordinator sees it: ``live`` (heartbeat
+#: within the TTL), ``lost`` (heartbeat watermark went stale — its
+#: leases are re-queued), ``left`` (deregistered gracefully).
+_WORKER_STATUSES = ("live", "lost", "left")
+
+#: Lease lifecycle: ``active`` (a worker owns the chunk until the
+#: deadline), ``done`` (result recorded), ``expired`` (deadline passed
+#: or holder lost; the chunk went back to the queue).
+_LEASE_STATUSES = ("active", "done", "expired")
 
 
 def default_store_path() -> str:
@@ -335,3 +364,316 @@ class JobStore:
                 (stable_json(report), digest, _wall_now(), job_id),
             ).rowcount
             require(updated == 1, f"unknown job {job_id!r}")
+
+    # ------------------------------------------------------------------
+    # Fleet state: workers, leases, heartbeat watermarks
+    # ------------------------------------------------------------------
+    # The elastic fleet (src/repro/fleet/) keeps its state in the same
+    # durable file as the jobs it serves, so a kill -9'd coordinator
+    # restarts with its workers and in-flight leases intact and
+    # re-adopts live workers from their next heartbeat.  Timestamps
+    # here are operational metadata exactly like the row clocks above:
+    # they bound lease/heartbeat lifetimes and never reach a digest.
+
+    def register_worker(
+        self, worker_id: str, url: str, capacity: int,
+        labels: dict | None = None,
+    ) -> dict:
+        """Upsert a worker row (idempotent; re-registration re-adopts).
+
+        Returns the stored row; ``adopted`` is True when the row already
+        existed — a worker re-announcing itself after a restart on
+        either side keeps its identity and its lease history.
+        """
+        require(capacity >= 1, "worker capacity must be >= 1")
+        now = _wall_now()
+        with self._connect() as conn:
+            existing = conn.execute(
+                "SELECT registered_at FROM workers WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchone()
+            conn.execute(
+                "INSERT INTO workers (worker_id, url, capacity, labels, "
+                "status, registered_at, last_heartbeat, load) "
+                "VALUES (?, ?, ?, ?, 'live', ?, ?, NULL) "
+                "ON CONFLICT(worker_id) DO UPDATE SET url = excluded.url, "
+                "capacity = excluded.capacity, labels = excluded.labels, "
+                "status = 'live', last_heartbeat = excluded.last_heartbeat",
+                (worker_id, url, int(capacity),
+                 canonical_json(labels or {}), now, now),
+            )
+        row = self.worker(worker_id)
+        row["adopted"] = existing is not None
+        return row
+
+    def worker(self, worker_id: str) -> dict:
+        """One worker's stored row; ``KeyError`` if unknown."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT worker_id, url, capacity, labels, status, "
+                "registered_at, last_heartbeat, load FROM workers "
+                "WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        return self._worker_row(row)
+
+    @staticmethod
+    def _worker_row(row: tuple) -> dict:
+        return {
+            "worker": row[0],
+            "url": row[1],
+            "capacity": int(row[2]),
+            "labels": json.loads(row[3]),
+            "status": row[4],
+            "registered_at": float(row[5]),
+            "last_heartbeat": float(row[6]),
+            "load": json.loads(row[7]) if row[7] is not None else None,
+        }
+
+    def workers(self) -> list[dict]:
+        """Every registered worker, in deterministic worker-id order."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT worker_id, url, capacity, labels, status, "
+                "registered_at, last_heartbeat, load FROM workers "
+                "ORDER BY worker_id ASC"
+            ).fetchall()
+        return [self._worker_row(row) for row in rows]
+
+    def heartbeat_worker(self, worker_id: str, load: dict | None) -> dict:
+        """Record a heartbeat; ``KeyError`` tells the agent to re-register.
+
+        Returns ``{lag, adopted}``: ``lag`` is the wall time since the
+        previous watermark and ``adopted`` is True when this heartbeat
+        revived a worker the coordinator had not seen live — the
+        crash-adoption path after a coordinator restart.
+        """
+        now = _wall_now()
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT status, last_heartbeat FROM workers "
+                "WHERE worker_id = ?",
+                (worker_id,),
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown worker {worker_id!r}")
+            conn.execute(
+                "UPDATE workers SET status = 'live', last_heartbeat = ?, "
+                "load = ? WHERE worker_id = ?",
+                (now, stable_json(load) if load is not None else None,
+                 worker_id),
+            )
+        return {
+            "lag": max(0.0, now - float(row[1])),
+            "adopted": row[0] != "live",
+        }
+
+    def deregister_worker(self, worker_id: str) -> bool:
+        """Mark a worker ``left`` and expire its active leases."""
+        with self._connect() as conn:
+            updated = conn.execute(
+                "UPDATE workers SET status = 'left', last_heartbeat = ? "
+                "WHERE worker_id = ? AND status != 'left'",
+                (_wall_now(), worker_id),
+            ).rowcount
+            conn.execute(
+                "UPDATE leases SET status = 'expired' "
+                "WHERE worker_id = ? AND status = 'active'",
+                (worker_id,),
+            )
+        return updated == 1
+
+    def mark_lost_workers(self, heartbeat_ttl: float) -> list[str]:
+        """Move live workers with stale heartbeats to ``lost``.
+
+        A lost worker's active leases expire in the same transaction, so
+        its chunks are immediately stealable.  Returns the worker ids
+        that transitioned (a later heartbeat re-adopts them).
+        """
+        cutoff = _wall_now() - float(heartbeat_ttl)
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT worker_id FROM workers "
+                "WHERE status = 'live' AND last_heartbeat < ? "
+                "ORDER BY worker_id ASC",
+                (cutoff,),
+            ).fetchall()
+            lost = [row[0] for row in rows]
+            for worker_id in lost:
+                conn.execute(
+                    "UPDATE workers SET status = 'lost' WHERE worker_id = ?",
+                    (worker_id,),
+                )
+                conn.execute(
+                    "UPDATE leases SET status = 'expired' "
+                    "WHERE worker_id = ? AND status = 'active'",
+                    (worker_id,),
+                )
+        return lost
+
+    def grant_lease(self, worker_id: str, lease_ttl: float) -> dict | None:
+        """Atomically lease the oldest unleased pending chunk.
+
+        One transaction: pick the first not-done chunk (deterministic
+        ``job_id, chunk_index`` order) of any submitted/running job that
+        carries no active lease, and write the lease row.  Returns the
+        work order — ``{job, chunk, start, stop, kind, spec, deadline,
+        stolen_from}`` — or ``None`` when the queue is empty.
+        ``stolen_from`` names the previous (expired) holder when this
+        grant re-queues another worker's chunk: a steal.
+        """
+        self.worker(worker_id)  # KeyError for unknown workers
+        now = _wall_now()
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT c.job_id, c.chunk_index, j.kind, j.spec, j.chunks "
+                "FROM chunks c JOIN jobs j ON j.job_id = c.job_id "
+                "WHERE c.status != 'done' "
+                "AND j.status IN ('submitted', 'running') "
+                "AND NOT EXISTS (SELECT 1 FROM leases l "
+                "  WHERE l.job_id = c.job_id "
+                "  AND l.chunk_index = c.chunk_index "
+                "  AND l.status = 'active') "
+                "ORDER BY c.job_id ASC, c.chunk_index ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            job_id, chunk_index, kind, spec, chunks = row
+            previous = conn.execute(
+                "SELECT worker_id FROM leases "
+                "WHERE job_id = ? AND chunk_index = ? AND status = 'expired'",
+                (job_id, chunk_index),
+            ).fetchone()
+            deadline = now + float(lease_ttl)
+            conn.execute(
+                "INSERT INTO leases (job_id, chunk_index, worker_id, "
+                "granted_at, deadline, status) VALUES (?, ?, ?, ?, ?, "
+                "'active') ON CONFLICT(job_id, chunk_index) DO UPDATE SET "
+                "worker_id = excluded.worker_id, "
+                "granted_at = excluded.granted_at, "
+                "deadline = excluded.deadline, status = 'active'",
+                (job_id, int(chunk_index), worker_id, now, deadline),
+            )
+        start, stop = json.loads(chunks)[int(chunk_index)]
+        stolen_from = previous[0] if (
+            previous is not None and previous[0] != worker_id
+        ) else None
+        return {
+            "job": job_id,
+            "chunk": int(chunk_index),
+            "start": int(start),
+            "stop": int(stop),
+            "kind": kind,
+            "spec": json.loads(spec),
+            "deadline": deadline,
+            "stolen_from": stolen_from,
+        }
+
+    def complete_lease(
+        self, worker_id: str, job_id: str, chunk_index: int,
+        result: dict, *, elapsed: float = 0.0,
+    ) -> bool:
+        """Record a leased chunk's result; True if it was the first.
+
+        Chunk payloads are pure functions of ``(spec, start, stop)``, so
+        a duplicate completion — the original holder finishing after its
+        lease was stolen — rewrites byte-identical bytes and is reported
+        (not raised) for the steal metrics.
+        """
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT status FROM chunks "
+                "WHERE job_id = ? AND chunk_index = ?",
+                (job_id, int(chunk_index)),
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"job {job_id!r} has no chunk {chunk_index!r}")
+            first = row[0] != "done"
+            conn.execute(
+                "UPDATE chunks SET status = 'done', result = ?, elapsed = ?, "
+                "updated_at = ? WHERE job_id = ? AND chunk_index = ?",
+                (stable_json(result), float(elapsed), _wall_now(),
+                 job_id, int(chunk_index)),
+            )
+            conn.execute(
+                "UPDATE leases SET status = 'done', worker_id = ? "
+                "WHERE job_id = ? AND chunk_index = ?",
+                (worker_id, job_id, int(chunk_index)),
+            )
+        return first
+
+    def release_lease(
+        self, job_id: str, chunk_index: int, status: str = "expired"
+    ) -> None:
+        """Force a lease out of ``active`` (failure reports, drills)."""
+        require(status in _LEASE_STATUSES,
+                f"lease status must be one of {_LEASE_STATUSES}")
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE leases SET status = ? "
+                "WHERE job_id = ? AND chunk_index = ?",
+                (status, job_id, int(chunk_index)),
+            )
+
+    def expire_leases(self) -> list[dict]:
+        """Expire active leases past their deadline (one transaction).
+
+        Each expired chunk goes straight back to the queue — the next
+        ``grant_lease`` hands it to whichever worker asks first, which
+        is the steal that makes a hung worker survivable.
+        """
+        now = _wall_now()
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id, chunk_index, worker_id FROM leases "
+                "WHERE status = 'active' AND deadline < ? "
+                "ORDER BY job_id ASC, chunk_index ASC",
+                (now,),
+            ).fetchall()
+            conn.execute(
+                "UPDATE leases SET status = 'expired' "
+                "WHERE status = 'active' AND deadline < ?",
+                (now,),
+            )
+        return [
+            {"job": row[0], "chunk": int(row[1]), "worker": row[2]}
+            for row in rows
+        ]
+
+    def leases(self, *, active_only: bool = False) -> list[dict]:
+        """Lease rows in deterministic order (fleet status display)."""
+        clause = " WHERE status = 'active'" if active_only else ""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id, chunk_index, worker_id, granted_at, "
+                f"deadline, status FROM leases{clause} "
+                "ORDER BY job_id ASC, chunk_index ASC"
+            ).fetchall()
+        return [
+            {
+                "job": row[0],
+                "chunk": int(row[1]),
+                "worker": row[2],
+                "granted_at": float(row[3]),
+                "deadline": float(row[4]),
+                "status": row[5],
+            }
+            for row in rows
+        ]
+
+    def queue_depth(self) -> int:
+        """Pending chunks of submitted/running jobs with no active lease."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT COUNT(*) FROM chunks c "
+                "JOIN jobs j ON j.job_id = c.job_id "
+                "WHERE c.status != 'done' "
+                "AND j.status IN ('submitted', 'running') "
+                "AND NOT EXISTS (SELECT 1 FROM leases l "
+                "  WHERE l.job_id = c.job_id "
+                "  AND l.chunk_index = c.chunk_index "
+                "  AND l.status = 'active')"
+            ).fetchone()
+        return int(row[0])

@@ -55,6 +55,8 @@ __all__ = [
     "ServiceContext",
     "dispatch",
     "legacy_location",
+    "service_capacity",
+    "service_load",
 ]
 
 API_VERSION = "v1"
@@ -76,6 +78,15 @@ _REQUEST_LATENCY = obs.REGISTRY.histogram(
     "repro_request_duration_seconds",
     "Dispatch latency per route (monotonic, seconds).",
     ("method", "route"),
+)
+
+#: Job chunks currently executing in this process — fed by the worker
+#: protocol (`POST /v1/chunks`), the fleet agent's pullers, and read
+#: back by ``GET /v1/healthz``'s ``load`` field, so heartbeats and
+#: external probes report the same number by construction.
+_RUNNING_CHUNKS = obs.REGISTRY.gauge(
+    "repro_job_chunks_running",
+    "Job chunks currently executing in this process.",
 )
 
 #: Terminal job statuses: the event stream ends when one is reached.
@@ -160,9 +171,12 @@ class JobService:
     /v1/jobs/{job_id}/resume``).
     """
 
-    def __init__(self, store=None, *, shards: int = 2):
+    def __init__(self, store=None, *, shards: int = 2,
+                 lease_ttl: float = 60.0, heartbeat_ttl: float = 15.0):
         self._store = store
         self.shards = shards
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat_ttl = float(heartbeat_ttl)
         self.stop_event = threading.Event()
         self._threads: dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -170,6 +184,8 @@ class JobService:
         # so the property stays safe to call from code holding the
         # service lock (every handler touches self._lock).
         self._store_lock = threading.Lock()
+        self._fleet = None
+        self._fleet_lock = threading.Lock()
 
     @property
     def store(self):
@@ -180,8 +196,34 @@ class JobService:
                 self._store = JobStore(default_store_path())
             return self._store
 
+    @property
+    def fleet(self):
+        """The lazily-built fleet manager over this service's store."""
+        store = self.store  # resolve outside _fleet_lock (own lock)
+        with self._fleet_lock:
+            if self._fleet is None:
+                # Import via the package, never a submodule: concurrent
+                # handler threads otherwise lock a child module while
+                # the package __init__ (held by a sibling thread) waits
+                # for it — CPython breaks that tie by letting one thread
+                # see a partially initialized module.
+                from repro.fleet import FleetManager
+
+                self._fleet = FleetManager(
+                    store,
+                    lease_ttl=self.lease_ttl,
+                    heartbeat_ttl=self.heartbeat_ttl,
+                )
+            return self._fleet
+
     # ------------------------------------------------------------------
-    def _executor(self, shards: int | None = None):
+    def _executor(self, shards: int | None = None, *, fleet: bool = False):
+        if fleet:
+            from repro.fleet import FleetExecutor  # package: see `fleet`
+
+            return FleetExecutor(
+                self.store, fleet=self.fleet, stop_event=self.stop_event
+            )
         from repro.jobs import ShardedExecutor
 
         if shards is None:
@@ -197,18 +239,22 @@ class JobService:
         # Explicit None check: shards=0 is a valid request ("all cores")
         # and must not fall back to the server default.
         shards = body.pop("shards", None)
+        # fleet=true runs the job through the lease queue: registered
+        # workers pull its chunks instead of this process forking shards.
+        fleet = bool(body.pop("fleet", False))
         spec = SimulationSpec.from_dict(body)
-        executor = self._executor(shards)
+        executor = self._executor(shards, fleet=fleet)
         record = executor.submit(spec, chunks=chunks)
         started = self._start(record.job_id, executor)
         reply = self.status(record.job_id)
         reply["started"] = started
         return reply
 
-    def resume(self, job_id: str, *, shards: int | None = None) -> dict:
+    def resume(self, job_id: str, *, shards: int | None = None,
+               fleet: bool = False) -> dict:
         """Restart a recorded job's pending chunks (no-op when done)."""
         self.store.get(job_id)  # KeyError -> 404
-        started = self._start(job_id, self._executor(shards))
+        started = self._start(job_id, self._executor(shards, fleet=fleet))
         reply = self.status(job_id)
         reply["started"] = started
         return reply
@@ -319,6 +365,26 @@ def _get_health(ctx, params, body, query):
     return {"ok": True, "version": API_VERSION}
 
 
+def service_load(ctx: "ServiceContext", *, report: dict | None = None) -> dict:
+    """This process's current load — the one shape heartbeats and
+    ``GET /v1/healthz`` probes share, so a fleet coordinator and an
+    external monitor always agree on what "busy" means."""
+    if report is None:
+        report = ctx.manager.report()
+    return {
+        "sessions": int(report["sessions"]["active"]),
+        "chunks": int(_RUNNING_CHUNKS.value()),
+    }
+
+
+def service_capacity(ctx: "ServiceContext") -> dict:
+    """The static counterpart of :func:`service_load`."""
+    return {
+        "sessions": int(ctx.manager.max_sessions),
+        "chunks": int(ctx.jobs.shards),
+    }
+
+
 def _get_healthz(ctx, params, body, query):
     import os
 
@@ -331,6 +397,8 @@ def _get_healthz(ctx, params, body, query):
         "sessions": report["sessions"],
         "markets": len(report["markets"]),
         "active_jobs": ctx.jobs.active_jobs(),
+        "load": service_load(ctx, report=report),
+        "capacity": service_capacity(ctx),
     }
 
 
@@ -414,7 +482,8 @@ def _get_job(ctx, params, body, query):
 
 def _post_job_resume(ctx, params, body, query):
     shards = body.get("shards")
-    return ctx.jobs.resume(params["job_id"], shards=shards)
+    fleet = bool(body.get("fleet", False))
+    return ctx.jobs.resume(params["job_id"], shards=shards, fleet=fleet)
 
 
 def _get_job_events(ctx, params, body, query) -> Iterator[dict]:
@@ -494,6 +563,7 @@ def _ensure_instrumented_imports() -> None:
     family names existing before traffic does.
     """
     import repro.client.http  # noqa: F401
+    import repro.fleet  # noqa: F401  (package: its __init__ pulls agent+manager)
     import repro.jobs.executor  # noqa: F401
     import repro.jobs.remote  # noqa: F401
     import repro.oracle_factory.factory  # noqa: F401
@@ -566,8 +636,77 @@ def _post_chunk(ctx, params, body, query):
     # The chunk span parents under the dispatch span, which itself
     # parents under the coordinator's traceparent — so a remote sweep's
     # chunk spans all carry the coordinator's root trace id.
-    with obs.span(f"chunk:{kind}", kind=kind, start=start, stop=stop):
-        return CHUNK_RUNNERS[kind](spec, start, stop)
+    _RUNNING_CHUNKS.add(1)
+    try:
+        with obs.span(f"chunk:{kind}", kind=kind, start=start, stop=stop):
+            return CHUNK_RUNNERS[kind](spec, start, stop)
+    finally:
+        _RUNNING_CHUNKS.add(-1)
+
+
+# ----------------------------------------------------------------------
+# The fleet protocol: registration, heartbeats, the lease queue
+# ----------------------------------------------------------------------
+def _post_worker(ctx, params, body, query):
+    url = body.get("url")
+    if not isinstance(url, str) or not url:
+        raise ApiError(400, "invalid_request",
+                       "url must be a non-empty string (the worker's "
+                       "advertised base URL — its fleet identity)")
+    capacity = body.get("capacity", 1)
+    if not isinstance(capacity, int) or capacity < 1:
+        raise ApiError(400, "invalid_request", "capacity must be an int >= 1")
+    labels = body.get("labels") or {}
+    if not isinstance(labels, dict):
+        raise ApiError(400, "invalid_request", "labels must be a JSON object")
+    return ctx.jobs.fleet.register(url, capacity=capacity, labels=labels)
+
+
+def _post_worker_heartbeat(ctx, params, body, query):
+    load = body.get("load")
+    if load is not None and not isinstance(load, dict):
+        raise ApiError(400, "invalid_request", "load must be a JSON object")
+    return ctx.jobs.fleet.heartbeat(params["worker_id"], load)
+
+
+def _post_worker_lease(ctx, params, body, query):
+    ctx.jobs.fleet.store.worker(params["worker_id"])  # KeyError -> 404
+    return ctx.jobs.fleet.lease(params["worker_id"])
+
+
+def _post_worker_complete(ctx, params, body, query):
+    worker_id = params["worker_id"]
+    ctx.jobs.fleet.store.worker(worker_id)  # KeyError -> 404
+    job = body.get("job")
+    chunk = body.get("chunk")
+    if not isinstance(job, str) or not isinstance(chunk, int):
+        raise ApiError(400, "invalid_request",
+                       "job (str) and chunk (int) are required")
+    error = body.get("error")
+    if error is not None:
+        return ctx.jobs.fleet.fail(worker_id, job, chunk, str(error))
+    result = body.get("result")
+    if not isinstance(result, dict):
+        raise ApiError(400, "invalid_request",
+                       "result must be the chunk's payload object "
+                       "(or pass error to report a failure)")
+    elapsed = body.get("elapsed", 0.0)
+    if not isinstance(elapsed, (int, float)):
+        raise ApiError(400, "invalid_request", "elapsed must be a number")
+    return ctx.jobs.fleet.complete(worker_id, job, chunk, result,
+                                   elapsed=float(elapsed))
+
+
+def _delete_worker(ctx, params, body, query):
+    reply = ctx.jobs.fleet.deregister(params["worker_id"])
+    if not reply["left"]:
+        raise ApiError(404, "not_found",
+                       f"unknown worker {params['worker_id']!r}")
+    return reply
+
+
+def _get_fleet(ctx, params, body, query):
+    return ctx.jobs.fleet.status()
 
 
 # ----------------------------------------------------------------------
@@ -603,9 +742,12 @@ ROUTES: tuple[Route, ...] = (
           "Liveness probe.",
           response="`{ok, version}`."),
     Route("GET", "/v1/healthz", _get_healthz, 200,
-          "Liveness plus session/job/drain status.",
+          "Liveness plus session/job/drain status, current load, and "
+          "static capacity.",
           response="`{ok, version, pid, draining, sessions, markets, "
-                   "active_jobs}`."),
+                   "active_jobs, load, capacity}` — `load` is the same "
+                   "`{sessions, chunks}` shape fleet heartbeats carry; "
+                   "`capacity` its static counterpart."),
     Route("GET", "/v1/report", _get_report, 200,
           "Operator report: pooled markets, session counts, outcome "
           "tallies.",
@@ -657,7 +799,10 @@ ROUTES: tuple[Route, ...] = (
                                        "settlement)",
                    "shards": "worker shards (0 = all cores; default: "
                              "server setting)",
-                   "chunks": "progress granularity (default: up to 16)"},
+                   "chunks": "progress granularity (default: up to 16)",
+                   "fleet": "bool: run through the lease queue — joined "
+                            "fleet workers pull the chunks instead of "
+                            "this process forking shards"},
           response="The job's progress: `{job, kind, status, chunks, "
                    "chunks_done, started[, digest, report]}`."),
     Route("GET", "/v1/jobs", _get_jobs, 200,
@@ -672,7 +817,9 @@ ROUTES: tuple[Route, ...] = (
                    "report, error]}`."),
     Route("POST", "/v1/jobs/{job_id}/resume", _post_job_resume, 202,
           "Restart a recorded job's pending chunks (no-op when done).",
-          request={"shards": "worker shards for this resume (optional)"},
+          request={"shards": "worker shards for this resume (optional)",
+                   "fleet": "bool: resume through the fleet lease queue "
+                            "instead of local shards"},
           response="The job's progress with `started`."),
     Route("GET", "/v1/jobs/{job_id}/events", _get_job_events, 200,
           "Stream chunk-completion progress as JSON lines until the job "
@@ -691,6 +838,54 @@ ROUTES: tuple[Route, ...] = (
                    "stop": "chunk stop index (exclusive)"},
           response="The chunk result payload, exactly as a process-pool "
                    "shard would record it."),
+    Route("POST", "/v1/workers", _post_worker, 201,
+          "Register (or re-adopt) a fleet worker by its advertised URL.",
+          request={"url": "the worker's advertised base URL — its "
+                          "content-addressed fleet identity; registering "
+                          "the same URL again is adoption, not duplication",
+                   "capacity": "concurrent chunks this worker will run "
+                               "(int >= 1, default 1)",
+                   "labels": "free-form metadata object echoed by "
+                             "`GET /v1/fleet`"},
+          response="The worker row plus `{adopted, lease_ttl, "
+                   "heartbeat_ttl}` — TTLs the agent should pace itself "
+                   "against."),
+    Route("POST", "/v1/workers/{worker_id}/heartbeat",
+          _post_worker_heartbeat, 200,
+          "Record a worker's pulse and current load; 404 asks the worker "
+          "to re-register (fresh coordinator store).",
+          request={"load": "current load object, same `{sessions, chunks}` "
+                           "shape as `GET /v1/healthz`'s `load` (optional)"},
+          response="`{worker, status, lag, adopted, heartbeat_ttl}` — "
+                   "`adopted` is true when this pulse revived a worker "
+                   "the coordinator had marked lost (crash adoption)."),
+    Route("POST", "/v1/workers/{worker_id}/lease", _post_worker_lease, 200,
+          "Pull one chunk lease from the shared queue (work stealing: "
+          "expired leases re-queue and may be granted to other workers).",
+          response="`{lease: null}` when the queue is empty, else "
+                   "`{lease: {job, chunk, start, stop, kind, spec, "
+                   "deadline, ttl, stolen_from}}`."),
+    Route("POST", "/v1/workers/{worker_id}/complete",
+          _post_worker_complete, 200,
+          "Deliver a leased chunk's result — or its failure.",
+          request={"job": "the leased job id",
+                   "chunk": "the leased chunk index",
+                   "result": "the chunk payload (success path)",
+                   "elapsed": "chunk wall seconds (optional)",
+                   "error": "failure text instead of `result`: fails the "
+                            "job, exactly as a local shard exception "
+                            "would"},
+          response="`{recorded, first, job, chunk}` — `first` is false "
+                   "for a duplicate delivery of a stolen chunk "
+                   "(harmless: chunks are deterministic)."),
+    Route("DELETE", "/v1/workers/{worker_id}", _delete_worker, 200,
+          "Gracefully deregister a worker; its active leases re-queue.",
+          response="`{worker, left}`."),
+    Route("GET", "/v1/fleet", _get_fleet, 200,
+          "Operator view of the fleet: workers, active leases, queue "
+          "depth (sweeps liveness as a side effect).",
+          response="`{workers, leases, queue, lease_ttl, "
+                   "heartbeat_ttl}`."),
     Route("GET", "/v1/metrics", _get_metrics, 200,
           "Process metrics in Prometheus text exposition format — the "
           "one non-JSON route.",

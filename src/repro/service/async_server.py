@@ -607,6 +607,11 @@ def run_async_server(
     workers: int = 8,
     eviction_interval: float | None = None,
     verbose: bool = False,
+    join: str | None = None,
+    capacity: int = 1,
+    worker_url: str | None = None,
+    lease_ttl: float = 60.0,
+    heartbeat_ttl: float = 15.0,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve --async``."""
     from repro.jobs import JobStore, default_store_path
@@ -617,7 +622,8 @@ def run_async_server(
         coalesce_window=coalesce_window,
     )
     jobs = JobService(JobStore(job_store or default_store_path()),
-                      shards=shards)
+                      shards=shards, lease_ttl=lease_ttl,
+                      heartbeat_ttl=heartbeat_ttl)
     server = AsyncMarketplaceServer(
         host, port,
         manager=manager,
@@ -628,9 +634,12 @@ def run_async_server(
         verbose=verbose,
     )
 
+    agents: list = []
+
     class _Announce(threading.Thread):
         # The bound address only exists once the loop is up; announce
-        # from the side so serve_forever() can own the main thread.
+        # (and join the fleet, which needs the bound port) from the
+        # side so serve_forever() can own the main thread.
         def run(self) -> None:
             server._started.wait()
             if server.address is not None:
@@ -640,11 +649,21 @@ def run_async_server(
                     f"http://{bound_host}:{bound_port} "
                     f"(SIGTERM or Ctrl-C to stop)"
                 )
+                if join:
+                    from repro.service.server import start_fleet_agent
+
+                    agents.append(start_fleet_agent(
+                        join, server.ctx, bound_host, bound_port,
+                        capacity=capacity, worker_url=worker_url,
+                    ))
 
     _Announce(daemon=True).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
+    finally:
+        for agent in agents:
+            agent.stop()
     print("repro marketplace service drained and stopped")
     return 0

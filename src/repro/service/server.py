@@ -75,6 +75,7 @@ __all__ = [
     "create_server",
     "run_server",
     "start_eviction_sweeper",
+    "start_fleet_agent",
 ]
 
 #: Request bodies above this are refused with 413 before any read — an
@@ -360,6 +361,44 @@ def start_eviction_sweeper(
     return stop
 
 
+def start_fleet_agent(
+    join: str,
+    ctx: ServiceContext,
+    bound_host: str,
+    bound_port: int,
+    *,
+    capacity: int = 1,
+    worker_url: str | None = None,
+    labels: dict | None = None,
+):
+    """Join this process to a coordinator's fleet (``serve --join URL``).
+
+    The advertised URL defaults to the bound address — override it with
+    ``worker_url`` when the coordinator reaches this host through NAT
+    or a proxy.  ``REPRO_FLEET_THROTTLE`` (seconds per chunk) models a
+    slower worker; it exists for heterogeneous-fleet benchmarks/drills.
+    Returns the started :class:`~repro.fleet.agent.FleetAgent`.
+    """
+    import os
+
+    from repro.fleet import FleetAgent
+    from repro.service.api import service_load
+
+    url = (worker_url or f"http://{bound_host}:{bound_port}").rstrip("/")
+    throttle = float(os.environ.get("REPRO_FLEET_THROTTLE") or 0.0)
+    agent = FleetAgent(
+        join,
+        url,
+        capacity=max(1, int(capacity)),
+        labels=labels,
+        load_probe=lambda: service_load(ctx),
+        throttle=throttle,
+    )
+    agent.start()
+    print(f"fleet worker {agent.worker_id} ({url}) joining {agent.coordinator}")
+    return agent
+
+
 def run_server(
     host: str = "127.0.0.1",
     port: int = 8765,
@@ -374,6 +413,11 @@ def run_server(
     use_async: bool = False,
     http_workers: int = 8,
     verbose: bool = False,
+    join: str | None = None,
+    capacity: int = 1,
+    worker_url: str | None = None,
+    lease_ttl: float = 60.0,
+    heartbeat_ttl: float = 15.0,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``.
 
@@ -404,6 +448,11 @@ def run_server(
             workers=http_workers,
             eviction_interval=eviction_interval,
             verbose=verbose,
+            join=join,
+            capacity=capacity,
+            worker_url=worker_url,
+            lease_ttl=lease_ttl,
+            heartbeat_ttl=heartbeat_ttl,
         )
 
     manager = SessionManager(
@@ -411,11 +460,19 @@ def run_server(
         idle_ttl=idle_ttl or None,
         coalesce_window=coalesce_window,
     )
-    jobs = JobService(JobStore(job_store or default_store_path()), shards=shards)
+    jobs = JobService(JobStore(job_store or default_store_path()),
+                      shards=shards, lease_ttl=lease_ttl,
+                      heartbeat_ttl=heartbeat_ttl)
     server = create_server(host, port, manager=manager, jobs=jobs,
                            verbose=verbose)
     sweeper_stop = start_eviction_sweeper(manager, eviction_interval)
     bound_host, bound_port = server.server_address[:2]
+    agent = None
+    if join:
+        agent = start_fleet_agent(
+            join, server.ctx, bound_host, bound_port,  # type: ignore[attr-defined]
+            capacity=capacity, worker_url=worker_url,
+        )
 
     def _terminate(signum: int, frame: object) -> None:  # pragma: no cover
         # serve_forever() blocks this (main) thread; shutdown() must be
@@ -434,6 +491,8 @@ def run_server(
         pass
     finally:
         sweeper_stop.set()
+        if agent is not None:
+            agent.stop()
         jobs.drain(timeout=drain_timeout)
         server.server_close()
         print("repro marketplace service drained and stopped")
@@ -477,3 +536,23 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default 8; ignored without --async)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request")
+    parser.add_argument("--join", default=None, metavar="URL",
+                        help="join a coordinator's worker fleet: register "
+                             "at URL, heartbeat, and pull job chunks from "
+                             "its lease queue")
+    parser.add_argument("--capacity", type=int, default=1, metavar="N",
+                        help="chunks this worker pulls concurrently when "
+                             "joined (default 1)")
+    parser.add_argument("--worker-url", default=None, metavar="URL",
+                        help="advertised URL for --join (default: the "
+                             "bound address); the worker's fleet identity")
+    parser.add_argument("--lease-ttl", type=float, default=60.0,
+                        metavar="SECS",
+                        help="coordinator: seconds a worker owns a leased "
+                             "chunk before it becomes stealable "
+                             "(default 60)")
+    parser.add_argument("--heartbeat-ttl", type=float, default=15.0,
+                        metavar="SECS",
+                        help="coordinator: seconds without a heartbeat "
+                             "before a worker is lost and its leases "
+                             "re-queue (default 15)")

@@ -208,6 +208,10 @@ class TestRealModulesStayClean:
             "src/repro/service/async_server.py",
             "src/repro/client/http.py",
             "src/repro/security/batch.py",
+            "src/repro/fleet/agent.py",
+            "src/repro/fleet/executor.py",
+            "src/repro/fleet/manager.py",
+            "src/repro/jobs/remote.py",
         ):
             path = os.path.join(root, rel)
             with open(path, encoding="utf-8") as handle:

@@ -9,6 +9,7 @@ worker death, and resume.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -152,3 +153,80 @@ class TestFailureSemantics:
             RemoteShardExecutor(store, [])
         with pytest.raises(ValueError, match="duplicate"):
             RemoteShardExecutor(store, ["http://a:1", "http://a:1"])
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            RemoteShardExecutor(store, ["http://a:1"], chunk_timeout=0)
+
+
+class TestHungWorker:
+    """A hung-but-connected worker must not stall the sweep forever.
+
+    Failure-only death detection cannot see this case: the socket stays
+    open, so no TransportError ever fires.  The per-chunk wall deadline
+    (``chunk_timeout``) is the only guard — past it the chunk re-queues
+    to the survivors and the hung worker is dropped.
+    """
+
+    def _hung_server(self):
+        """Accepts connections and reads forever, never replying."""
+        import socket
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        stop = threading.Event()
+        conns = []
+
+        def serve():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    continue
+                conn.settimeout(0.2)
+                conns.append(conn)
+
+        threading.Thread(target=serve, daemon=True).start()
+        url = "http://127.0.0.1:%d" % listener.getsockname()[1]
+
+        def close():
+            stop.set()
+            for conn in conns:
+                conn.close()
+            listener.close()
+
+        return url, close
+
+    def test_hung_worker_chunk_requeued_within_wall_deadline(
+        self, store, reference_digest
+    ):
+        hung_url, close_hung = self._hung_server()
+        good_server, good_url = _worker()
+        try:
+            executor = RemoteShardExecutor(
+                store, [hung_url, good_url],
+                chunk_timeout=1.5,
+                # A generous socket timeout proves the *wall* deadline
+                # does the catching, not transport-level inactivity.
+                client_options={"timeout": 120, "retries": 0},
+            )
+            t0 = time.monotonic()
+            record = executor.run(executor.submit(SPEC, chunks=4).job_id)
+            assert record.status == "done"
+            assert record.digest == reference_digest
+            # The sweep finished promptly after the deadline, not after
+            # the 120s socket timeout.
+            assert time.monotonic() - t0 < 60
+            from repro import obs
+
+            timeouts = obs.REGISTRY.counter(
+                "repro_remote_chunks_total",
+                "Chunk POSTs per worker URL, by result.",
+                ("worker", "result"),
+            )
+            assert timeouts.value(worker=hung_url, result="timeout") >= 1
+        finally:
+            close_hung()
+            good_server.shutdown()
+            good_server.server_close()

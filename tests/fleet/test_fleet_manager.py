@@ -1,0 +1,187 @@
+"""Fleet policy unit tests: registration, heartbeats, the lease queue.
+
+Everything here drives :class:`~repro.fleet.manager.FleetManager`
+directly over a store file — no HTTP — so the semantics (content-
+addressed identity, crash adoption, deterministic lease order, steal on
+expiry, idempotent duplicate completion, fail-fast on chunk errors) are
+pinned independently of any transport.
+"""
+
+import time
+
+import pytest
+
+from repro.fleet.manager import FleetManager, worker_id_for
+from repro.jobs import JobStore
+from repro.jobs.executor import CHUNK_RUNNERS, submit_simulation
+from repro.service.specs import SimulationSpec
+
+SPEC = SimulationSpec(sessions=24, seed=3, batch_size=8)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "jobs.sqlite3"))
+
+
+@pytest.fixture
+def fleet(store):
+    return FleetManager(store, lease_ttl=30.0, heartbeat_ttl=30.0)
+
+
+def _run(lease):
+    return CHUNK_RUNNERS[lease["kind"]](
+        lease["spec"], lease["start"], lease["stop"]
+    )
+
+
+class TestIdentity:
+    def test_worker_id_is_content_addressed_from_url(self):
+        assert worker_id_for("http://a:1") == worker_id_for("http://a:1/")
+        assert worker_id_for("http://a:1") != worker_id_for("http://a:2")
+        assert worker_id_for("http://a:1").startswith("w")
+
+    def test_reregistration_is_adoption_not_duplication(self, store, fleet):
+        first = fleet.register("http://a:1", capacity=1)
+        again = fleet.register("http://a:1/", capacity=4,
+                               labels={"host": "a"})
+        assert first["worker"] == again["worker"]
+        assert not first["adopted"] and again["adopted"]
+        assert len(store.workers()) == 1
+        # The re-registration updated capacity and labels in place.
+        assert store.worker(first["worker"])["capacity"] == 4
+
+    def test_register_reply_carries_ttls(self, fleet):
+        row = fleet.register("http://a:1")
+        assert row["lease_ttl"] == 30.0
+        assert row["heartbeat_ttl"] == 30.0
+
+
+class TestHeartbeats:
+    def test_heartbeat_updates_watermark_and_load(self, store, fleet):
+        wid = fleet.register("http://a:1")["worker"]
+        pulse = fleet.heartbeat(wid, {"sessions": 1, "chunks": 2})
+        assert pulse["status"] == "live" and not pulse["adopted"]
+        assert pulse["lag"] >= 0.0
+        assert store.worker(wid)["load"] == {"sessions": 1, "chunks": 2}
+
+    def test_heartbeat_of_unknown_worker_raises_keyerror(self, fleet):
+        with pytest.raises(KeyError):
+            fleet.heartbeat("w000000000000", None)
+
+    def test_stale_worker_is_lost_and_heartbeat_readopts(self, store):
+        fleet = FleetManager(store, lease_ttl=30.0, heartbeat_ttl=0.05)
+        wid = fleet.register("http://a:1")["worker"]
+        time.sleep(0.1)
+        swept = fleet.expire()
+        assert wid in swept["lost"]
+        assert store.worker(wid)["status"] == "lost"
+        # The next pulse is the crash-adoption path.
+        pulse = fleet.heartbeat(wid, None)
+        assert pulse["adopted"]
+        assert store.worker(wid)["status"] == "live"
+
+    def test_deregister_marks_left_and_is_idempotent(self, store, fleet):
+        wid = fleet.register("http://a:1")["worker"]
+        assert fleet.deregister(wid)["left"]
+        assert store.worker(wid)["status"] == "left"
+        assert not fleet.deregister(wid)["left"]
+        assert not fleet.deregister("w000000000000")["left"]
+
+
+class TestLeaseQueue:
+    def test_empty_queue_leases_none(self, fleet):
+        wid = fleet.register("http://a:1")["worker"]
+        assert fleet.lease(wid) == {"lease": None}
+
+    def test_lease_order_is_deterministic(self, store, fleet):
+        record = submit_simulation(store, SPEC, chunks=4)
+        wid = fleet.register("http://a:1")["worker"]
+        granted = [fleet.lease(wid)["lease"]["chunk"] for _ in range(4)]
+        assert granted == [0, 1, 2, 3]
+        assert fleet.lease(wid)["lease"] is None  # all leased out
+        assert record.job_id == fleet.status()["leases"][0]["job"]
+
+    def test_lease_carries_everything_a_worker_needs(self, store, fleet):
+        submit_simulation(store, SPEC, chunks=2)
+        wid = fleet.register("http://a:1")["worker"]
+        lease = fleet.lease(wid)["lease"]
+        assert lease["kind"] == "simulation"
+        assert lease["spec"] == SPEC.to_dict()
+        assert (lease["start"], lease["stop"]) == (0, 12)
+        assert lease["ttl"] == 30.0 and lease["deadline"] > 0
+        assert lease["stolen_from"] is None
+
+    def test_completion_records_chunk_durably(self, store, fleet):
+        record = submit_simulation(store, SPEC, chunks=2)
+        wid = fleet.register("http://a:1")["worker"]
+        for _ in range(2):
+            lease = fleet.lease(wid)["lease"]
+            reply = fleet.complete(wid, lease["job"], lease["chunk"],
+                                   _run(lease), elapsed=0.01)
+            assert reply["first"]
+        assert store.pending_chunks(record.job_id) == []
+        assert store.queue_depth() == 0
+
+    def test_expired_lease_is_stolen_by_another_worker(self, store):
+        fleet = FleetManager(store, lease_ttl=0.05, heartbeat_ttl=30.0)
+        submit_simulation(store, SPEC, chunks=1)
+        slow = fleet.register("http://slow:1")["worker"]
+        fast = fleet.register("http://fast:1")["worker"]
+        first = fleet.lease(slow)["lease"]
+        assert fleet.lease(fast)["lease"] is None  # still held
+        time.sleep(0.1)
+        stolen = fleet.lease(fast)["lease"]
+        assert stolen["chunk"] == first["chunk"]
+        assert stolen["stolen_from"] == slow
+
+    def test_duplicate_completion_of_stolen_chunk_is_harmless(self, store):
+        fleet = FleetManager(store, lease_ttl=0.05, heartbeat_ttl=30.0)
+        record = submit_simulation(store, SPEC, chunks=1)
+        slow = fleet.register("http://slow:1")["worker"]
+        fast = fleet.register("http://fast:1")["worker"]
+        lease = fleet.lease(slow)["lease"]
+        time.sleep(0.1)
+        stolen = fleet.lease(fast)["lease"]
+        payload = _run(lease)
+        assert fleet.complete(fast, stolen["job"], stolen["chunk"],
+                              payload)["first"]
+        # The original holder comes back late with the same payload
+        # (chunks are deterministic): recorded as a duplicate, the
+        # stored result is untouched.
+        assert not fleet.complete(slow, lease["job"], lease["chunk"],
+                                  payload)["first"]
+        assert store.get(record.job_id).done_chunks == 1
+
+    def test_lost_worker_leases_requeue(self, store):
+        fleet = FleetManager(store, lease_ttl=30.0, heartbeat_ttl=0.05)
+        submit_simulation(store, SPEC, chunks=1)
+        wid = fleet.register("http://a:1")["worker"]
+        assert fleet.lease(wid)["lease"] is not None
+        time.sleep(0.1)
+        survivor = fleet.register("http://b:1")["worker"]
+        # The sweep inside lease() marks a stale holder lost and frees
+        # its lease even though the lease's own deadline is far out.
+        lease = fleet.lease(survivor)["lease"]
+        assert lease is not None and lease["stolen_from"] == wid
+
+    def test_failed_chunk_fails_the_job_and_frees_the_lease(self, store,
+                                                            fleet):
+        record = submit_simulation(store, SPEC, chunks=2)
+        wid = fleet.register("http://a:1")["worker"]
+        lease = fleet.lease(wid)["lease"]
+        fleet.fail(wid, lease["job"], lease["chunk"], "ValueError('bad')")
+        current = store.get(record.job_id)
+        assert current.status == "failed"
+        assert "ValueError" in current.error and wid in current.error
+        assert fleet.status()["leases"] == []
+
+    def test_status_reports_queue_depth(self, store, fleet):
+        submit_simulation(store, SPEC, chunks=4)
+        wid = fleet.register("http://a:1")["worker"]
+        assert fleet.status()["queue"] == 4
+        fleet.lease(wid)
+        status = fleet.status()
+        assert status["queue"] == 3  # leased chunks are off the queue
+        assert len(status["leases"]) == 1
+        assert len(status["workers"]) == 1

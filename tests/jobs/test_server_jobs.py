@@ -61,6 +61,18 @@ class TestHealthz:
         assert payload["sessions"]["resident"] == 0
         assert payload["active_jobs"] == 0
 
+    def test_healthz_load_and_capacity_share_the_heartbeat_shape(
+        self, service
+    ):
+        """`load` is the same `{sessions, chunks}` dict fleet heartbeats
+        carry; `capacity` is its static counterpart."""
+        status, payload = _call(f"{service['url']}/v1/healthz")
+        assert status == 200
+        assert payload["load"] == {"sessions": 0, "chunks": 0}
+        assert set(payload["capacity"]) == {"sessions", "chunks"}
+        assert payload["capacity"]["chunks"] == 2  # the service's shards
+        assert payload["capacity"]["sessions"] >= 1
+
 
 class TestSimulationJobs:
     def _wait_done(self, url, job_id, timeout=120.0):

@@ -1,0 +1,81 @@
+"""Schema migration: a pre-fleet store file gains the fleet tables.
+
+The fleet PR added ``workers`` and ``leases`` to the store schema.
+Because every table is ``CREATE TABLE IF NOT EXISTS``, opening an old
+file migrates it in place — and must do so without disturbing the job
+rows already there: same ids, same chunk results, same digests.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.jobs import JobStore
+from repro.jobs.executor import ShardedExecutor
+from repro.service.specs import SimulationSpec
+
+SPEC = SimulationSpec(sessions=24, seed=3, batch_size=8)
+
+
+def _table_names(path):
+    with sqlite3.connect(path) as conn:
+        rows = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+    return {name for (name,) in rows}
+
+
+@pytest.fixture
+def pre_fleet_store(tmp_path):
+    """A store file exactly as a pre-fleet build would leave it: a
+    finished job on disk and no workers/leases tables."""
+    path = str(tmp_path / "jobs.sqlite3")
+    executor = ShardedExecutor(JobStore(path), shards=1)
+    record = executor.run(executor.submit(SPEC, chunks=3).job_id)
+    assert record.status == "done" and record.digest is not None
+    with sqlite3.connect(path) as conn:
+        conn.executescript("DROP TABLE workers; DROP TABLE leases;")
+    assert _table_names(path) >= {"jobs", "chunks"}
+    assert not _table_names(path) & {"workers", "leases"}
+    return path, record
+
+
+class TestMigration:
+    def test_open_creates_fleet_tables(self, pre_fleet_store):
+        path, _ = pre_fleet_store
+        JobStore(path)
+        assert _table_names(path) >= {"jobs", "chunks", "workers", "leases"}
+
+    def test_existing_job_rows_and_digest_survive(self, pre_fleet_store):
+        path, before = pre_fleet_store
+        store = JobStore(path)
+        after = store.get(before.job_id)
+        assert after.status == "done"
+        assert after.digest == before.digest
+        assert after.report == before.report
+        assert after.chunks == before.chunks
+        assert [job.job_id for job in store.jobs()] == [before.job_id]
+
+    def test_migrated_store_serves_the_fleet(self, pre_fleet_store):
+        """The migrated file is immediately usable as a lease queue."""
+        from repro.fleet.manager import FleetManager
+        from repro.jobs.executor import CHUNK_RUNNERS, submit_simulation
+
+        path, before = pre_fleet_store
+        store = JobStore(path)
+        fleet = FleetManager(store)
+        wid = fleet.register("http://migrated.test")["worker"]
+        fresh = submit_simulation(
+            store, SimulationSpec(sessions=16, seed=5, batch_size=8),
+            chunks=2,
+        )
+        for _ in range(2):
+            lease = fleet.lease(wid)["lease"]
+            assert lease["job"] == fresh.job_id  # never the done job
+            payload = CHUNK_RUNNERS[lease["kind"]](
+                lease["spec"], lease["start"], lease["stop"]
+            )
+            fleet.complete(wid, lease["job"], lease["chunk"], payload)
+        assert store.pending_chunks(fresh.job_id) == []
+        # The pre-fleet job is untouched by the fleet traffic.
+        assert store.get(before.job_id).digest == before.digest
